@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries: standard
+ * run configurations, workload factories, and formatting. Each bench
+ * prints the paper's anchor numbers next to the measured ones so the
+ * shape comparison is one `diff` away (see EXPERIMENTS.md).
+ */
+
+#ifndef DBSENS_BENCH_BENCH_COMMON_H
+#define DBSENS_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/table_printer.h"
+#include "harness/oltp_runner.h"
+#include "harness/tpch_driver.h"
+#include "workloads/asdb/asdb.h"
+#include "workloads/htap/htap.h"
+#include "workloads/tpce/tpce.h"
+
+namespace dbsens {
+namespace bench {
+
+/** Paper scale factors per workload (Table 2). */
+inline const std::vector<int> kAsdbSfs = {2000, 6000};
+inline const std::vector<int> kTpceSfs = {5000, 15000};
+inline const std::vector<int> kHtapSfs = {5000, 15000};
+inline const std::vector<int> kTpchSfs = {10, 30, 100, 300};
+
+/** Paper core-allocation ladder (Figure 2 x-axis). */
+inline const std::vector<int> kCoreLadder = {1, 2, 4, 8, 16, 32};
+
+/** Paper CAT allocations, MB across both sockets (Figure 2). */
+inline std::vector<int>
+llcLadder()
+{
+    std::vector<int> v;
+    for (int mb = 2; mb <= 40; mb += 2)
+        v.push_back(mb);
+    return v;
+}
+
+/** Make an OLTP-ish workload by name ("TPC-E", "ASDB", "HTAP"). */
+inline std::unique_ptr<OltpWorkload>
+makeOltpWorkload(const std::string &name, int sf)
+{
+    if (name == "TPC-E")
+        return std::make_unique<tpce::TpceWorkload>(sf);
+    if (name == "ASDB")
+        return std::make_unique<asdb::AsdbWorkload>(sf);
+    if (name == "HTAP")
+        return std::make_unique<htap::HtapWorkload>(sf);
+    fatal("unknown workload " + name);
+}
+
+/** Standard OLTP sweep-point configuration. */
+inline RunConfig
+oltpConfig()
+{
+    RunConfig cfg;
+    cfg.duration = milliseconds(160);
+    cfg.warmup = milliseconds(50);
+    cfg.sampleInterval = milliseconds(2);
+    return cfg;
+}
+
+/** Standard TPC-H throughput configuration (1 paper hour). */
+inline RunConfig
+tpchConfig()
+{
+    RunConfig cfg;
+    cfg.duration = fromSeconds(3600.0 / double(calib::kScaleK));
+    return cfg;
+}
+
+/** Section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void
+note(const std::string &text)
+{
+    std::printf("%s\n", text.c_str());
+}
+
+} // namespace bench
+} // namespace dbsens
+
+#endif // DBSENS_BENCH_BENCH_COMMON_H

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reproduces Figure 3: average SSD and DRAM bandwidth utilization for
+ * TPC-H and ASDB as performance changes — once driven by core count
+ * (bandwidth rises with performance) and once by LLC allocation
+ * (DRAM bandwidth *falls* as the cache grows while performance rises).
+ */
+
+#include "sweeps.h"
+
+int
+main()
+{
+    using namespace dbsens;
+    using namespace dbsens::bench;
+
+    banner("Figure 3: bandwidth utilization vs performance");
+
+    // TPC-H: SF100 and SF300.
+    for (int sf : {100, 300}) {
+        note("\npreparing TPC-H SF=" + std::to_string(sf) + "...");
+        TpchDriver driver(sf);
+
+        TablePrinter t({"driven by", "setting", "QPS", "SSD rd MB/s",
+                        "SSD wr MB/s", "DRAM GB/s"});
+        for (int cores : {4, 8, 16, 32}) {
+            RunConfig cfg = tpchConfig();
+            cfg.cores = cores;
+            cfg.maxdop = cores;
+            const auto r = driver.runStreams(cfg, 3);
+            t.row()
+                .cell("cores")
+                .cell(cores)
+                .cell(r.qps, 3)
+                .cell(r.avgSsdReadBps / 1e6, 0)
+                .cell(r.avgSsdWriteBps / 1e6, 0)
+                .cell(r.avgDramBps / 1e9, 2);
+        }
+        for (int mb : {4, 12, 24, 40}) {
+            RunConfig cfg = tpchConfig();
+            cfg.llcMb = mb;
+            const auto r = driver.runStreams(cfg, 3);
+            t.row()
+                .cell("LLC MB")
+                .cell(mb)
+                .cell(r.qps, 3)
+                .cell(r.avgSsdReadBps / 1e6, 0)
+                .cell(r.avgSsdWriteBps / 1e6, 0)
+                .cell(r.avgDramBps / 1e9, 2);
+        }
+        banner("TPC-H SF=" + std::to_string(sf));
+        t.print(std::cout);
+    }
+
+    // ASDB: SF2000 and SF6000.
+    for (int sf : kAsdbSfs) {
+        note("\npreparing ASDB SF=" + std::to_string(sf) + "...");
+        asdb::AsdbWorkload wl(sf);
+        auto db = wl.generate(1);
+
+        TablePrinter t({"driven by", "setting", "TPS", "SSD rd MB/s",
+                        "SSD wr MB/s", "DRAM GB/s"});
+        for (int cores : {4, 8, 16, 32}) {
+            RunConfig cfg = oltpConfig();
+            cfg.cores = cores;
+            const auto r = runOltpOn(wl, *db, cfg);
+            t.row()
+                .cell("cores")
+                .cell(cores)
+                .cell(r.tps, 0)
+                .cell(r.avgSsdReadBps / 1e6, 0)
+                .cell(r.avgSsdWriteBps / 1e6, 0)
+                .cell(r.avgDramBps / 1e9, 2);
+        }
+        for (int mb : {4, 12, 24, 40}) {
+            RunConfig cfg = oltpConfig();
+            cfg.llcMb = mb;
+            const auto r = runOltpOn(wl, *db, cfg);
+            t.row()
+                .cell("LLC MB")
+                .cell(mb)
+                .cell(r.tps, 0)
+                .cell(r.avgSsdReadBps / 1e6, 0)
+                .cell(r.avgSsdWriteBps / 1e6, 0)
+                .cell(r.avgDramBps / 1e9, 2);
+        }
+        banner("ASDB SF=" + std::to_string(sf));
+        t.print(std::cout);
+    }
+
+    note("\nShape checks: bandwidths rise with core-driven performance; "
+         "DRAM bandwidth falls with cache-driven performance; ASDB's "
+         "SSD use is write-heavy (log), TPC-H's is read-heavy; all "
+         "bandwidths stay below the device/DRAM peaks "
+         "(under-utilized).");
+    return 0;
+}

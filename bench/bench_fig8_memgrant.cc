@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces Figure 8: TPC-H SF=100 per-query execution-time speedup
+ * with 2%, 5%, and 15% query memory grants relative to the default
+ * 25% (~9.2 GB paper-scale). SF=100 mostly fits in memory, isolating
+ * the memory-grant effect.
+ *
+ * Paper shapes: most queries are insensitive; Q3, Q8, Q9, Q13, Q16,
+ * Q18, Q21 degrade, with Q18 degrading at every reduced grant and
+ * Q13/Q21 only at 2%.
+ */
+
+#include "sweeps.h"
+
+int
+main()
+{
+    using namespace dbsens;
+    using namespace dbsens::bench;
+
+    note("preparing TPC-H SF=100...");
+    TpchDriver driver(100);
+
+    banner("Fig 8: TPC-H SF=100 speedup vs 25% grant baseline");
+    const std::vector<double> fractions = {0.02, 0.05, 0.15};
+    TablePrinter t({"query", "M=2%", "M=5%", "M=15%",
+                    "mem req MB"});
+    int sensitive = 0;
+    for (int q = 1; q <= tpch::kQueryCount; ++q) {
+        RunConfig base = tpchConfig();
+        base.grantFraction = 0.25;
+        const double t25 = driver.runSingleQuery(q, base);
+        auto &row = t.row().cell("Q" + std::to_string(q));
+        double worst = 1.0;
+        for (double f : fractions) {
+            RunConfig cfg = tpchConfig();
+            cfg.grantFraction = f;
+            const double dur = driver.runSingleQuery(q, cfg);
+            const double speedup = dur > 0 ? t25 / dur : 0.0;
+            worst = std::min(worst, speedup);
+            row.cell(speedup, 2);
+        }
+        row.cell(double(driver.profile(q, 32)
+                            .profile.totalMemRequired()) /
+                     1e6,
+                 1);
+        if (worst < 0.9)
+            ++sensitive;
+    }
+    t.print(std::cout);
+    std::printf("\nmemory-sensitive queries (any grant < 0.9 speedup): "
+                "%d   (paper: 7 — Q3, Q8, Q9, Q13, Q16, Q18, Q21)\n",
+                sensitive);
+    note("Shape checks: values <= ~1.0; most queries flat; the "
+         "heavy-build queries degrade as the grant shrinks, with the "
+         "biggest drops at M=2%.");
+    return 0;
+}

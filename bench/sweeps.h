@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Shared sweep drivers for Figure 2 / Table 4: performance vs core
+ * allocation and performance+MPKI vs CAT allocation, for all four
+ * workload classes. OLTP sweeps reuse one generated database per
+ * workload/SF (mutation drift per short run is negligible); TPC-H
+ * sweeps replay cached profiles.
+ */
+
+#ifndef DBSENS_BENCH_SWEEPS_H
+#define DBSENS_BENCH_SWEEPS_H
+
+#include <functional>
+#include <map>
+
+#include "bench_common.h"
+
+namespace dbsens {
+namespace bench {
+
+/** One sweep point. */
+struct SweepPoint
+{
+    int x = 0;       ///< cores or LLC MB
+    double perf = 0; ///< TPS or QPS
+    double mpki = 0;
+};
+
+using Series = std::vector<SweepPoint>;
+
+/** Perf vs allowed cores for an OLTP workload (40 MB LLC). */
+inline Series
+oltpCoreSweep(OltpWorkload &wl, Database &db)
+{
+    Series out;
+    for (int cores : kCoreLadder) {
+        RunConfig cfg = oltpConfig();
+        cfg.cores = cores;
+        cfg.llcMb = 40;
+        const auto r = runOltpOn(wl, db, cfg);
+        out.push_back({cores, r.tps, r.mpki});
+    }
+    return out;
+}
+
+/** Perf + MPKI vs LLC allocation for an OLTP workload (32 cores). */
+inline Series
+oltpCacheSweep(OltpWorkload &wl, Database &db)
+{
+    Series out;
+    for (int mb : llcLadder()) {
+        RunConfig cfg = oltpConfig();
+        cfg.cores = 32;
+        cfg.llcMb = mb;
+        const auto r = runOltpOn(wl, db, cfg);
+        out.push_back({mb, r.tps, r.mpki});
+    }
+    return out;
+}
+
+/** QPS vs cores for TPC-H (MAXDOP follows cores, 40 MB LLC). */
+inline Series
+tpchCoreSweep(TpchDriver &driver)
+{
+    Series out;
+    for (int cores : kCoreLadder) {
+        RunConfig cfg = tpchConfig();
+        cfg.cores = cores;
+        cfg.maxdop = cores;
+        cfg.llcMb = 40;
+        const auto r = driver.runStreams(cfg, 3);
+        out.push_back({cores, r.qps, r.mpki});
+    }
+    return out;
+}
+
+/** QPS + MPKI vs LLC allocation for TPC-H (32 cores). */
+inline Series
+tpchCacheSweep(TpchDriver &driver)
+{
+    Series out;
+    for (int mb : llcLadder()) {
+        RunConfig cfg = tpchConfig();
+        cfg.cores = 32;
+        cfg.llcMb = mb;
+        const auto r = driver.runStreams(cfg, 3);
+        out.push_back({mb, r.qps, r.mpki});
+    }
+    return out;
+}
+
+/** Print a series as an aligned table. */
+inline void
+printSeries(const std::string &title, const char *xlabel,
+            const char *perf_label, const Series &s, bool with_mpki)
+{
+    banner(title);
+    std::vector<std::string> header = {xlabel, perf_label};
+    if (with_mpki)
+        header.push_back("MPKI");
+    header.push_back("perf/perf(max)");
+    TablePrinter t(header);
+    const double base = s.empty() ? 1.0 : s.back().perf;
+    for (const auto &p : s) {
+        auto &row = t.row().cell(p.x).cell(p.perf, 3);
+        if (with_mpki)
+            row.cell(p.mpki, 2);
+        row.cell(base > 0 ? p.perf / base : 0.0, 3);
+    }
+    t.print(std::cout);
+}
+
+/** Smallest allocation reaching `frac` of the 40 MB performance. */
+inline int
+sufficientLlc(const Series &cache_series, double frac)
+{
+    double full = 0;
+    for (const auto &p : cache_series)
+        if (p.x == 40)
+            full = p.perf;
+    for (const auto &p : cache_series)
+        if (p.perf >= frac * full)
+            return p.x;
+    return 40;
+}
+
+} // namespace bench
+} // namespace dbsens
+
+#endif // DBSENS_BENCH_SWEEPS_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * HTAP cache partitioning — the paper's Section 10 research question:
+ * "since transactional and analytical workloads exhibit different
+ * cache sensitivities, can caches be dynamically reconfigured?"
+ *
+ * This example runs the HTAP workload under a range of CAT
+ * allocations and reports how the transactional (TPS) and analytical
+ * (QPH) components respond, exposing the allocation band where the
+ * DSS side still gains while the OLTP side has saturated — the excess
+ * capacity the paper suggests repurposing.
+ *
+ * Run: ./build/examples/htap_cache_partition
+ */
+
+#include <cstdio>
+
+#include "harness/oltp_runner.h"
+#include "workloads/htap/htap.h"
+
+using namespace dbsens;
+
+int
+main()
+{
+    const int sf = 2000; // scaled-down HTAP tenant
+    std::printf("generating HTAP database (SF=%d)...\n", sf);
+    htap::HtapWorkload wl(sf);
+    auto db = wl.generate(1);
+
+    std::printf("\n  %-8s %-10s %-10s %-12s %-12s\n", "LLC MB", "TPS",
+                "QPH", "TPS/TPS(40)", "QPH/QPH(40)");
+
+    RunConfig base;
+    base.duration = milliseconds(150);
+    base.warmup = milliseconds(50);
+    base.sampleInterval = milliseconds(2);
+
+    // Reference point at the full allocation.
+    RunConfig full = base;
+    full.llcMb = 40;
+    const auto ref = runOltpOn(wl, *db, full);
+    const double ref_qph = ref.qps * 3600.0;
+
+    for (int mb : {4, 8, 12, 16, 24, 32, 40}) {
+        RunConfig cfg = base;
+        cfg.llcMb = mb;
+        const auto r = runOltpOn(wl, *db, cfg);
+        const double qph = r.qps * 3600.0;
+        std::printf("  %-8d %-10.0f %-10.0f %-12.2f %-12.2f\n", mb,
+                    r.tps, qph, ref.tps > 0 ? r.tps / ref.tps : 0,
+                    ref_qph > 0 ? qph / ref_qph : 0);
+    }
+
+    std::printf("\nReading the table: the allocation where the TPS "
+                "column saturates (~1.0) but QPH still climbs is LLC "
+                "capacity that a partitioning policy could dedicate "
+                "to the analytical class — or reclaim entirely when "
+                "no DSS queries run (paper Section 10).\n");
+    return 0;
+}

@@ -1,0 +1,15 @@
+#!/bin/bash
+# Regenerate every paper table and figure (DESIGN.md Section 4).
+set -u
+cd "$(dirname "$0")"
+for b in build/bench/bench_table2_sizes build/bench/bench_table3_waits \
+         build/bench/bench_fig2_cores_cache build/bench/bench_table4_sufficient_llc \
+         build/bench/bench_fig3_bandwidth build/bench/bench_fig4_cdf \
+         build/bench/bench_fig5_readbw build/bench/bench_fig6_maxdop \
+         build/bench/bench_fig7_plans build/bench/bench_fig8_memgrant \
+         build/bench/bench_pitfalls build/bench/bench_ablation \
+         build/bench/bench_micro; do
+    echo ""
+    echo "##### $b #####"
+    "$b" || echo "BENCH FAILED: $b"
+done

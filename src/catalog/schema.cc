@@ -1,0 +1,34 @@
+#include "catalog/schema.h"
+
+#include "core/logging.h"
+
+namespace dbsens {
+
+ColumnId
+Schema::indexOf(const std::string &name) const
+{
+    for (size_t i = 0; i < cols_.size(); ++i)
+        if (cols_[i].name == name)
+            return ColumnId(i);
+    panic("schema has no column named '" + name + "'");
+}
+
+bool
+Schema::has(const std::string &name) const
+{
+    for (const auto &c : cols_)
+        if (c.name == name)
+            return true;
+    return false;
+}
+
+uint32_t
+Schema::rowWidth() const
+{
+    uint32_t w = 0;
+    for (const auto &c : cols_)
+        w += c.width;
+    return w;
+}
+
+} // namespace dbsens

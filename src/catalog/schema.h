@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table schemas: ordered, named, typed columns, with the storage width
+ * used by the row-store page layout and size accounting (Table 2).
+ */
+
+#ifndef DBSENS_CATALOG_SCHEMA_H
+#define DBSENS_CATALOG_SCHEMA_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "core/types.h"
+
+namespace dbsens {
+
+/** One column definition. */
+struct ColumnDef
+{
+    std::string name;
+    TypeId type = TypeId::Int64;
+    /**
+     * Storage bytes per value in the row layout. Int64/Double use 8;
+     * strings use a declared fixed width (TPC schemas use CHAR(n)/
+     * VARCHAR(n); we store the declared width for size accounting).
+     */
+    uint32_t width = 8;
+
+    ColumnDef() = default;
+    ColumnDef(std::string name, TypeId type, uint32_t width = 0)
+        : name(std::move(name)), type(type),
+          width(width ? width : (type == TypeId::String ? 16 : 8))
+    {
+    }
+};
+
+/** An ordered list of columns. */
+class Schema
+{
+  public:
+    Schema() = default;
+    explicit Schema(std::vector<ColumnDef> cols) : cols_(std::move(cols)) {}
+
+    size_t columnCount() const { return cols_.size(); }
+    const ColumnDef &column(ColumnId i) const { return cols_.at(i); }
+    const std::vector<ColumnDef> &columns() const { return cols_; }
+
+    /** Index of a column by name; panics if absent (schema bugs). */
+    ColumnId indexOf(const std::string &name) const;
+
+    /** True if a column with this name exists. */
+    bool has(const std::string &name) const;
+
+    /** Bytes per row in the row-store layout (sum of widths). */
+    uint32_t rowWidth() const;
+
+  private:
+    std::vector<ColumnDef> cols_;
+};
+
+/** Storage layout choices (paper Table 1). */
+enum class StorageLayout : uint8_t {
+    RowStore,    ///< slotted-page heap + B-tree indexes (OLTP)
+    ColumnStore, ///< compressed column segments (DSS)
+};
+
+} // namespace dbsens
+
+#endif // DBSENS_CATALOG_SCHEMA_H

@@ -1,0 +1,41 @@
+#include "catalog/value.h"
+
+namespace dbsens {
+
+const char *
+typeName(TypeId t)
+{
+    switch (t) {
+      case TypeId::Int64: return "int64";
+      case TypeId::Double: return "double";
+      case TypeId::String: return "string";
+    }
+    return "?";
+}
+
+std::string
+Value::toString() const
+{
+    switch (type()) {
+      case TypeId::Int64: return std::to_string(asInt());
+      case TypeId::Double: return std::to_string(asDouble());
+      case TypeId::String: return asString();
+    }
+    return "?";
+}
+
+int64_t
+dateToDays(int year, int month, int day)
+{
+    // Howard Hinnant's days_from_civil algorithm.
+    year -= month <= 2;
+    const int era = (year >= 0 ? year : year - 399) / 400;
+    const unsigned yoe = unsigned(year - era * 400);
+    const unsigned doy =
+        (153u * unsigned(month + (month > 2 ? -3 : 9)) + 2u) / 5u +
+        unsigned(day) - 1u;
+    const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    return int64_t(era) * 146097 + int64_t(doe) - 719468;
+}
+
+} // namespace dbsens

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Runtime value type used at engine boundaries (literals, keys,
+ * assembled rows). Bulk execution is columnar (see exec/batch.h);
+ * Value is the scalar glue.
+ *
+ * Dates are represented as int64 days since 1970-01-01, which is all
+ * the TPC benchmarks need (range predicates and date arithmetic).
+ */
+
+#ifndef DBSENS_CATALOG_VALUE_H
+#define DBSENS_CATALOG_VALUE_H
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace dbsens {
+
+/** Column type identifiers. */
+enum class TypeId : uint8_t {
+    Int64,  ///< integers, keys, counts, and dates (days since epoch)
+    Double, ///< prices, discounts, aggregates
+    String, ///< names, comments, flags
+};
+
+/** Returns a human-readable type name. */
+const char *typeName(TypeId t);
+
+/** A scalar runtime value. */
+class Value
+{
+  public:
+    Value() : v_(int64_t{0}) {}
+    Value(int64_t i) : v_(i) {}                       // NOLINT implicit
+    Value(int i) : v_(int64_t{i}) {}                  // NOLINT implicit
+    Value(double d) : v_(d) {}                        // NOLINT implicit
+    Value(std::string s) : v_(std::move(s)) {}        // NOLINT implicit
+    Value(const char *s) : v_(std::string(s)) {}      // NOLINT implicit
+
+    TypeId
+    type() const
+    {
+        switch (v_.index()) {
+          case 0: return TypeId::Int64;
+          case 1: return TypeId::Double;
+          default: return TypeId::String;
+        }
+    }
+
+    bool isInt() const { return v_.index() == 0; }
+    bool isDouble() const { return v_.index() == 1; }
+    bool isString() const { return v_.index() == 2; }
+
+    int64_t asInt() const { return std::get<int64_t>(v_); }
+    double asDouble() const { return std::get<double>(v_); }
+    const std::string &asString() const { return std::get<std::string>(v_); }
+
+    /** Numeric view: Int64 promotes to double. */
+    double
+    numeric() const
+    {
+        return isInt() ? double(asInt()) : asDouble();
+    }
+
+    bool operator==(const Value &o) const { return v_ == o.v_; }
+    bool operator!=(const Value &o) const { return v_ != o.v_; }
+
+    /** Ordering within the same type only (callers ensure types). */
+    bool
+    operator<(const Value &o) const
+    {
+        if (v_.index() != o.v_.index())
+            return v_.index() < o.v_.index();
+        return v_ < o.v_;
+    }
+
+    std::string toString() const;
+
+  private:
+    std::variant<int64_t, double, std::string> v_;
+};
+
+/** Days since 1970-01-01 for a calendar date (proleptic Gregorian). */
+int64_t dateToDays(int year, int month, int day);
+
+} // namespace dbsens
+
+#endif // DBSENS_CATALOG_VALUE_H

@@ -1,0 +1,51 @@
+#include "core/logging.h"
+
+namespace dbsens {
+
+int logVerbosity = 0;
+
+namespace detail {
+
+void
+logLine(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+} // namespace detail
+
+void
+panic(const std::string &msg)
+{
+    detail::logLine("panic", msg);
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    detail::logLine("fatal", msg);
+    std::exit(1);
+}
+
+void
+warn(const std::string &msg)
+{
+    detail::logLine("warn", msg);
+}
+
+void
+inform(const std::string &msg)
+{
+    if (logVerbosity >= 1)
+        detail::logLine("info", msg);
+}
+
+void
+debugLog(const std::string &msg)
+{
+    if (logVerbosity >= 2)
+        detail::logLine("debug", msg);
+}
+
+} // namespace dbsens

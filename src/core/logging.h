@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers, following the
+ * gem5-style split: panic() for internal invariant violations (aborts),
+ * fatal() for user/configuration errors (clean exit), warn()/inform()
+ * for status.
+ */
+
+#ifndef DBSENS_CORE_LOGGING_H
+#define DBSENS_CORE_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dbsens {
+
+/** Global verbosity: 0 = quiet, 1 = inform, 2 = debug. */
+extern int logVerbosity;
+
+namespace detail {
+void logLine(const char *tag, const std::string &msg);
+} // namespace detail
+
+/** Report a condition that indicates a bug in dbsens itself and abort. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const std::string &msg);
+
+/** Report normal operating status (suppressed when verbosity == 0). */
+void inform(const std::string &msg);
+
+/** Debug chatter (only with verbosity >= 2). */
+void debugLog(const std::string &msg);
+
+} // namespace dbsens
+
+#endif // DBSENS_CORE_LOGGING_H

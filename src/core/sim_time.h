@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Simulated time: a nanosecond-resolution clock value used by the
+ * discrete-event kernel. Kept as a strong-ish alias with helper
+ * constructors so call sites read like units ("5_ms", seconds(2)).
+ */
+
+#ifndef DBSENS_CORE_SIM_TIME_H
+#define DBSENS_CORE_SIM_TIME_H
+
+#include <cstdint>
+
+namespace dbsens {
+
+/** Simulated time in nanoseconds since simulation start. */
+using SimTime = int64_t;
+
+/** A duration in simulated nanoseconds. */
+using SimDuration = int64_t;
+
+inline constexpr SimDuration nanoseconds(int64_t n) { return n; }
+inline constexpr SimDuration microseconds(int64_t n) { return n * 1000; }
+inline constexpr SimDuration milliseconds(int64_t n) { return n * 1000000; }
+inline constexpr SimDuration seconds(int64_t n) { return n * 1000000000; }
+
+/** Convert a simulated duration to (floating) seconds, for reporting. */
+inline constexpr double toSeconds(SimDuration d) { return double(d) * 1e-9; }
+
+/** Convert floating seconds to a simulated duration. */
+inline constexpr SimDuration fromSeconds(double s)
+{
+    return SimDuration(s * 1e9);
+}
+
+inline constexpr SimTime kSimTimeMax = INT64_MAX;
+
+} // namespace dbsens
+
+#endif // DBSENS_CORE_SIM_TIME_H

@@ -1,0 +1,114 @@
+#include "core/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/logging.h"
+
+namespace dbsens {
+
+std::string
+formatFixed(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header(std::move(header))
+{
+}
+
+TablePrinter &
+TablePrinter::row()
+{
+    rows.emplace_back();
+    return *this;
+}
+
+TablePrinter &
+TablePrinter::cell(const std::string &s)
+{
+    if (rows.empty())
+        panic("TablePrinter::cell called before row()");
+    rows.back().push_back(s);
+    return *this;
+}
+
+TablePrinter &
+TablePrinter::cell(const char *s)
+{
+    return cell(std::string(s));
+}
+
+TablePrinter &
+TablePrinter::cell(int64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+TablePrinter &
+TablePrinter::cell(uint64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+TablePrinter &
+TablePrinter::cell(int v)
+{
+    return cell(std::to_string(v));
+}
+
+TablePrinter &
+TablePrinter::cell(double v, int decimals)
+{
+    return cell(formatFixed(v, decimals));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(header.size());
+    for (size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &r : rows)
+        for (size_t c = 0; c < r.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &r) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &s = c < r.size() ? r[c] : std::string();
+            os << "  " << s;
+            for (size_t p = s.size(); p < widths[c]; ++p)
+                os << ' ';
+        }
+        os << '\n';
+    };
+
+    emit_row(header);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+    for (const auto &r : rows)
+        emit_row(r);
+}
+
+void
+TablePrinter::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &r) {
+        for (size_t c = 0; c < r.size(); ++c) {
+            if (c)
+                os << ',';
+            os << r[c];
+        }
+        os << '\n';
+    };
+    emit_row(header);
+    for (const auto &r : rows)
+        emit_row(r);
+}
+
+} // namespace dbsens

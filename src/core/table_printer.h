@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Aligned text-table and CSV output used by every bench binary to print
+ * the paper's tables and figure series.
+ */
+
+#ifndef DBSENS_CORE_TABLE_PRINTER_H
+#define DBSENS_CORE_TABLE_PRINTER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dbsens {
+
+/**
+ * Collects rows of string cells and renders them as an aligned text
+ * table (or CSV). Numeric helpers format with fixed precision so the
+ * bench output is diff-stable.
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /** Begin a new row. */
+    TablePrinter &row();
+
+    /** Append a cell to the current row. */
+    TablePrinter &cell(const std::string &s);
+    TablePrinter &cell(const char *s);
+    TablePrinter &cell(int64_t v);
+    TablePrinter &cell(uint64_t v);
+    TablePrinter &cell(int v);
+    /** Floating cell with the given number of decimals. */
+    TablePrinter &cell(double v, int decimals = 2);
+
+    /** Render as an aligned text table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream &os) const;
+
+    size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with fixed decimals (helper shared with benches). */
+std::string formatFixed(double v, int decimals);
+
+} // namespace dbsens
+
+#endif // DBSENS_CORE_TABLE_PRINTER_H

@@ -1,0 +1,64 @@
+#include "engine/grant_gate.h"
+
+namespace dbsens {
+
+namespace {
+
+struct Park
+{
+    GrantGate::Waiter *entry;
+    std::deque<GrantGate::Waiter *> *queue;
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        entry->handle = h;
+        queue->push_back(entry);
+    }
+
+    void await_resume() const noexcept {}
+};
+
+} // namespace
+
+Task<void>
+GrantGate::acquire(uint64_t bytes)
+{
+    const uint64_t need = clamp(bytes);
+    if (waiters_.empty() && need <= free_) {
+        free_ -= need;
+        peakReserved_ = std::max(peakReserved_, capacity_ - free_);
+        co_return;
+    }
+    Waiter w{need, {}};
+    co_await Park{&w, &waiters_};
+    // pump() already deducted our bytes before resuming us.
+}
+
+void
+GrantGate::pump()
+{
+    while (!waiters_.empty()) {
+        Waiter *w = waiters_.front();
+        if (w->bytes > free_)
+            break; // FIFO: later small requests wait behind it
+        waiters_.pop_front();
+        free_ -= w->bytes;
+        peakReserved_ = std::max(peakReserved_, capacity_ - free_);
+        loop_.post(w->handle);
+    }
+}
+
+void
+GrantGate::release(uint64_t bytes)
+{
+    const uint64_t back = clamp(bytes);
+    free_ += back;
+    if (free_ > capacity_)
+        panic("GrantGate::release beyond capacity");
+    pump();
+}
+
+} // namespace dbsens

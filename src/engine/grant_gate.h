@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Query-memory admission control.
+ *
+ * SQL Server reserves each query's memory grant before execution
+ * (paper Section 8); the total of concurrent grants is bounded by the
+ * server's query-memory pool, so large grants limit concurrency. The
+ * GrantGate is a FIFO byte-counting semaphore: a session acquires its
+ * grant before running a query and releases it afterwards. This is
+ * what makes the paper's observation measurable — "by choosing
+ * appropriate query memory grants, more concurrent queries could be
+ * accommodated" (see examples/grant_admission.cpp).
+ */
+
+#ifndef DBSENS_ENGINE_GRANT_GATE_H
+#define DBSENS_ENGINE_GRANT_GATE_H
+
+#include <coroutine>
+#include <deque>
+
+#include "core/logging.h"
+#include "sim/event_loop.h"
+#include "sim/task.h"
+
+namespace dbsens {
+
+/** FIFO byte-counting semaphore for query memory grants. */
+class GrantGate
+{
+  public:
+    GrantGate(EventLoop &loop, uint64_t capacity_bytes)
+        : loop_(loop), capacity_(capacity_bytes), free_(capacity_bytes)
+    {
+    }
+
+    /**
+     * Reserve `bytes` of query memory, waiting FIFO behind earlier
+     * requests (no barging: a large waiter is not starved by small
+     * later ones). Requests above capacity are clamped to capacity,
+     * as SQL Server caps grants at the pool size.
+     */
+    Task<void> acquire(uint64_t bytes);
+
+    /** Return a reservation made by acquire (same byte count). */
+    void release(uint64_t bytes);
+
+    uint64_t capacityBytes() const { return capacity_; }
+    uint64_t freeBytes() const { return free_; }
+    size_t waiterCount() const { return waiters_.size(); }
+
+    /** Peak concurrent reservations observed (for reporting). */
+    uint64_t peakReservedBytes() const { return peakReserved_; }
+
+    /** Wait-queue entry (public for the internal park awaitable). */
+    struct Waiter
+    {
+        uint64_t bytes;
+        std::coroutine_handle<> handle;
+    };
+
+  private:
+    uint64_t clamp(uint64_t bytes) const
+    {
+        return bytes > capacity_ ? capacity_ : bytes;
+    }
+
+    void pump();
+
+    EventLoop &loop_;
+    uint64_t capacity_;
+    uint64_t free_;
+    uint64_t peakReserved_ = 0;
+    std::deque<Waiter *> waiters_;
+};
+
+} // namespace dbsens
+
+#endif // DBSENS_ENGINE_GRANT_GATE_H

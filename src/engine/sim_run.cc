@@ -1,0 +1,90 @@
+#include "engine/sim_run.h"
+
+namespace dbsens {
+
+namespace {
+
+/** Background lazy writer: flush dirty pages through the SSD. It
+ * stops ticking at the end of the run window so event loops drain. */
+Task<void>
+checkpointer(SimRun &run)
+{
+    while (run.running()) {
+        co_await SimDelay(run.loop, SimRun::kCheckpointInterval);
+        const uint64_t bytes =
+            run.pool.flushDirty(SimRun::kCheckpointBatchBytes);
+        if (bytes > 0)
+            co_await run.ssd.write(bytes);
+    }
+}
+
+} // namespace
+
+SimRun::SimRun(Database &db, const RunConfig &cfg)
+    : cpu(loop, &dram), ssd(loop), feed(llc),
+      pool(loop, ssd, calib::bufferPoolRealBytes()), locks(loop),
+      wal(loop, ssd), sampler(loop, cfg.sampleInterval), db_(db),
+      cfg_(cfg)
+{
+    cpu.setAllowedCores(cfg.cores);
+    llc.setTotalAllocationMb(cfg.llcMb);
+    if (cfg.ssdReadLimitBps > 0)
+        ssd.setReadLimit(cfg.ssdReadLimitBps);
+    if (cfg.ssdWriteLimitBps > 0)
+        ssd.setWriteLimit(cfg.ssdWriteLimitBps);
+    db.bindPool(pool);
+    if (cfg.prewarmBufferPool)
+        pool.prewarm();
+    loop.spawn(checkpointer(*this));
+}
+
+SimRun::~SimRun()
+{
+    db_.unbindPool();
+}
+
+void
+SimRun::startSampling(double byte_scale)
+{
+    sampler.addCounter("ssd_read_Bps",
+                       [this] { return double(ssd.bytesRead()); },
+                       byte_scale);
+    sampler.addCounter("ssd_write_Bps",
+                       [this] { return double(ssd.bytesWritten()); },
+                       byte_scale);
+    sampler.addCounter("dram_Bps",
+                       [this] { return dram.totalBytes(); }, byte_scale);
+    sampler.addCounter("txns_per_s",
+                       [this] { return double(txnsCommitted); });
+    sampler.addCounter("queries_per_s",
+                       [this] { return double(queriesCompleted); });
+    sampler.start();
+}
+
+void
+SimRun::completeWarmup()
+{
+    if (cfg_.warmup <= 0)
+        return;
+    loop.runUntil(cfg_.warmup);
+    txnsCommitted = 0;
+    txnsAborted = 0;
+    queriesCompleted = 0;
+    instructionsRetired = 0;
+    waits.reset();
+    llc.resetCounters();
+    pool.resetCounters();
+}
+
+void
+SimRun::runToCompletion()
+{
+    const SimTime end = cfg_.warmup + cfg_.duration;
+    loop.runUntil(end);
+    sampler.stop();
+    // Drain in-flight work briefly so counters settle (sessions stop
+    // issuing new transactions once running() is false).
+    loop.runUntil(end + milliseconds(50));
+}
+
+} // namespace dbsens

@@ -1,0 +1,31 @@
+#include "exec/chunk.h"
+
+namespace dbsens {
+
+Chunk
+Chunk::gather(const std::vector<uint32_t> &sel) const
+{
+    Chunk out;
+    out.setRows(sel.size());
+    for (const auto &c : cols_) {
+        ColumnVector nc;
+        switch (c.type()) {
+          case TypeId::Int64:
+            nc = ColumnVector::ints(c.name());
+            break;
+          case TypeId::Double:
+            nc = ColumnVector::doubles(c.name());
+            break;
+          case TypeId::String:
+            nc = ColumnVector::strings(c.name(), c.dict());
+            break;
+        }
+        nc.reserve(sel.size());
+        for (uint32_t i : sel)
+            nc.appendFrom(c, i);
+        out.addColumn(std::move(nc));
+    }
+    return out;
+}
+
+} // namespace dbsens

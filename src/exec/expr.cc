@@ -1,0 +1,535 @@
+#include "exec/expr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+
+#include "core/logging.h"
+
+namespace dbsens {
+
+// ------------------------------------------------------------- builders
+
+namespace {
+
+std::shared_ptr<Expr>
+makeExpr(ExprKind k)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = k;
+    return e;
+}
+
+} // namespace
+
+ExprPtr
+col(const std::string &name)
+{
+    auto e = makeExpr(ExprKind::ColRef);
+    e->column = name;
+    return e;
+}
+
+ExprPtr
+lit(Value v)
+{
+    auto e = makeExpr(ExprKind::Const);
+    e->literal = std::move(v);
+    return e;
+}
+
+ExprPtr
+param(const std::string &name)
+{
+    auto e = makeExpr(ExprKind::Param);
+    e->param = name;
+    return e;
+}
+
+ExprPtr
+cmp(CmpOp op, ExprPtr a, ExprPtr b)
+{
+    auto e = makeExpr(ExprKind::Cmp);
+    e->cmp = op;
+    e->kids = {std::move(a), std::move(b)};
+    return e;
+}
+
+ExprPtr eq(ExprPtr a, ExprPtr b) { return cmp(CmpOp::Eq, a, b); }
+ExprPtr ne(ExprPtr a, ExprPtr b) { return cmp(CmpOp::Ne, a, b); }
+ExprPtr lt(ExprPtr a, ExprPtr b) { return cmp(CmpOp::Lt, a, b); }
+ExprPtr le(ExprPtr a, ExprPtr b) { return cmp(CmpOp::Le, a, b); }
+ExprPtr gt(ExprPtr a, ExprPtr b) { return cmp(CmpOp::Gt, a, b); }
+ExprPtr ge(ExprPtr a, ExprPtr b) { return cmp(CmpOp::Ge, a, b); }
+
+ExprPtr
+between(ExprPtr x, Value lo, Value hi)
+{
+    return land(ge(x, lit(std::move(lo))), le(x, lit(std::move(hi))));
+}
+
+ExprPtr
+land(ExprPtr a, ExprPtr b)
+{
+    auto e = makeExpr(ExprKind::Logic);
+    e->logic = LogicOp::And;
+    e->kids = {std::move(a), std::move(b)};
+    return e;
+}
+
+ExprPtr
+lor(ExprPtr a, ExprPtr b)
+{
+    auto e = makeExpr(ExprKind::Logic);
+    e->logic = LogicOp::Or;
+    e->kids = {std::move(a), std::move(b)};
+    return e;
+}
+
+ExprPtr
+lnot(ExprPtr a)
+{
+    auto e = makeExpr(ExprKind::Logic);
+    e->logic = LogicOp::Not;
+    e->kids = {std::move(a)};
+    return e;
+}
+
+namespace {
+
+ExprPtr
+arith(ArithOp op, ExprPtr a, ExprPtr b)
+{
+    auto e = makeExpr(ExprKind::Arith);
+    e->arith = op;
+    e->kids = {std::move(a), std::move(b)};
+    return e;
+}
+
+} // namespace
+
+ExprPtr add(ExprPtr a, ExprPtr b) { return arith(ArithOp::Add, a, b); }
+ExprPtr sub(ExprPtr a, ExprPtr b) { return arith(ArithOp::Sub, a, b); }
+ExprPtr mul(ExprPtr a, ExprPtr b) { return arith(ArithOp::Mul, a, b); }
+ExprPtr divide(ExprPtr a, ExprPtr b) { return arith(ArithOp::Div, a, b); }
+
+ExprPtr
+like(const std::string &column_name, const std::string &pattern)
+{
+    auto e = makeExpr(ExprKind::Like);
+    e->column = column_name;
+    e->pattern = pattern;
+    return e;
+}
+
+ExprPtr
+inList(const std::string &column_name, std::vector<std::string> items)
+{
+    auto e = makeExpr(ExprKind::InList);
+    e->column = column_name;
+    e->inStrings = std::move(items);
+    return e;
+}
+
+ExprPtr
+inListInt(const std::string &column_name, std::vector<int64_t> items)
+{
+    auto e = makeExpr(ExprKind::InList);
+    e->column = column_name;
+    e->inInts = std::move(items);
+    return e;
+}
+
+ExprPtr
+substrIn(const std::string &column_name, int pos, int len,
+         std::vector<std::string> items)
+{
+    auto e = makeExpr(ExprKind::SubstrIn);
+    e->column = column_name;
+    e->substrPos = pos;
+    e->substrLen = len;
+    e->inStrings = std::move(items);
+    return e;
+}
+
+ExprPtr
+substrInt(const std::string &column_name, int pos, int len)
+{
+    auto e = makeExpr(ExprKind::SubstrInt);
+    e->column = column_name;
+    e->substrPos = pos;
+    e->substrLen = len;
+    return e;
+}
+
+ExprPtr
+caseWhen(ExprPtr cond, ExprPtr then_e, ExprPtr else_e)
+{
+    auto e = makeExpr(ExprKind::CaseWhen);
+    e->kids = {std::move(cond), std::move(then_e), std::move(else_e)};
+    return e;
+}
+
+ExprPtr
+yearOf(ExprPtr date)
+{
+    auto e = makeExpr(ExprKind::YearOf);
+    e->kids = {std::move(date)};
+    return e;
+}
+
+// --------------------------------------------------------------- helpers
+
+bool
+likeMatch(const std::string &s, const std::string &pattern)
+{
+    // Split the pattern into literal segments separated by '%'.
+    std::vector<std::string> segs;
+    std::string cur;
+    for (char c : pattern) {
+        if (c == '%') {
+            segs.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    segs.push_back(cur);
+
+    if (segs.size() == 1)
+        return s == segs[0]; // no wildcard
+
+    // Anchored prefix.
+    size_t pos = 0;
+    if (!segs.front().empty()) {
+        if (s.compare(0, segs.front().size(), segs.front()) != 0)
+            return false;
+        pos = segs.front().size();
+    }
+    // Middle segments: greedy left-to-right.
+    for (size_t i = 1; i + 1 < segs.size(); ++i) {
+        if (segs[i].empty())
+            continue;
+        const size_t found = s.find(segs[i], pos);
+        if (found == std::string::npos)
+            return false;
+        pos = found + segs[i].size();
+    }
+    // Anchored suffix.
+    const std::string &suf = segs.back();
+    if (suf.empty())
+        return true;
+    if (s.size() < pos + suf.size())
+        return false;
+    return s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+int64_t
+yearOfDays(int64_t days)
+{
+    // Howard Hinnant's civil_from_days.
+    int64_t z = days + 719468;
+    const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+    const auto doe = uint64_t(z - era * 146097);
+    const uint64_t yoe =
+        (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    const int64_t y = int64_t(yoe) + era * 400;
+    const uint64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    const uint64_t mp = (5 * doy + 2) / 153;
+    const uint64_t m = mp + (mp < 10 ? 3 : -9);
+    return y + (m <= 2);
+}
+
+int
+exprSize(const Expr &e)
+{
+    int n = 1;
+    for (const auto &k : e.kids)
+        n += exprSize(*k);
+    return n;
+}
+
+// ---------------------------------------------------------- bound nodes
+
+struct BoundExpr::Node
+{
+    ExprKind kind;
+    CmpOp cmp{};
+    LogicOp logic{};
+    ArithOp arith{};
+    const ColumnVector *colv = nullptr;
+    Value literal;
+    std::vector<std::shared_ptr<Node>> kids;
+    std::string pattern;
+    int substrPos = 0;
+    int substrLen = 0;
+    std::vector<std::string> inStrings;
+    std::vector<int64_t> inInts;
+    // String fast paths.
+    bool stringCmp = false;
+    int64_t constCode = -1; // literal's code in colv's dict, -1 absent
+    std::vector<int64_t> inCodes;
+    bool inCodesValid = false;
+    // Pre-evaluated column for Like/InList (bitmaps over dict codes).
+    std::vector<uint8_t> dictMatch; // per-code match flag
+    std::vector<double> dictValue;  // per-code numeric (SubstrInt)
+};
+
+namespace {
+
+using Node = BoundExpr::Node;
+
+double evalNum(const Node &n, size_t i);
+
+bool
+evalB(const Node &n, size_t i)
+{
+    switch (n.kind) {
+      case ExprKind::Logic:
+        switch (n.logic) {
+          case LogicOp::And:
+            return evalB(*n.kids[0], i) && evalB(*n.kids[1], i);
+          case LogicOp::Or:
+            return evalB(*n.kids[0], i) || evalB(*n.kids[1], i);
+          case LogicOp::Not:
+            return !evalB(*n.kids[0], i);
+        }
+        return false;
+      case ExprKind::Cmp: {
+        const Node &a = *n.kids[0];
+        const Node &b = *n.kids[1];
+        if (n.stringCmp) {
+            // Fast path: column vs constant with dictionary code.
+            if (a.kind == ExprKind::ColRef && b.kind == ExprKind::Const &&
+                (n.cmp == CmpOp::Eq || n.cmp == CmpOp::Ne)) {
+                const bool same = a.colv->intAt(i) == n.constCode;
+                return n.cmp == CmpOp::Eq ? same : !same;
+            }
+            const std::string &sa = a.kind == ExprKind::Const
+                                        ? a.literal.asString()
+                                        : a.colv->stringAt(i);
+            const std::string &sb = b.kind == ExprKind::Const
+                                        ? b.literal.asString()
+                                        : b.colv->stringAt(i);
+            switch (n.cmp) {
+              case CmpOp::Eq: return sa == sb;
+              case CmpOp::Ne: return sa != sb;
+              case CmpOp::Lt: return sa < sb;
+              case CmpOp::Le: return sa <= sb;
+              case CmpOp::Gt: return sa > sb;
+              case CmpOp::Ge: return sa >= sb;
+            }
+            return false;
+        }
+        const double va = evalNum(a, i);
+        const double vb = evalNum(b, i);
+        switch (n.cmp) {
+          case CmpOp::Eq: return va == vb;
+          case CmpOp::Ne: return va != vb;
+          case CmpOp::Lt: return va < vb;
+          case CmpOp::Le: return va <= vb;
+          case CmpOp::Gt: return va > vb;
+          case CmpOp::Ge: return va >= vb;
+        }
+        return false;
+      }
+      case ExprKind::Like:
+      case ExprKind::SubstrIn:
+        return n.dictMatch[size_t(n.colv->intAt(i))] != 0;
+      case ExprKind::InList: {
+        const int64_t v = n.colv->intAt(i);
+        const auto &set = n.inCodesValid ? n.inCodes : n.inInts;
+        return std::find(set.begin(), set.end(), v) != set.end();
+      }
+      default:
+        return evalNum(n, i) != 0.0;
+    }
+}
+
+double
+evalNum(const Node &n, size_t i)
+{
+    switch (n.kind) {
+      case ExprKind::ColRef:
+        return n.colv->numericAt(i);
+      case ExprKind::Const:
+        return n.literal.numeric();
+      case ExprKind::Arith: {
+        const double a = evalNum(*n.kids[0], i);
+        const double b = evalNum(*n.kids[1], i);
+        switch (n.arith) {
+          case ArithOp::Add: return a + b;
+          case ArithOp::Sub: return a - b;
+          case ArithOp::Mul: return a * b;
+          case ArithOp::Div: return b != 0 ? a / b : 0.0;
+        }
+        return 0;
+      }
+      case ExprKind::CaseWhen:
+        return evalB(*n.kids[0], i) ? evalNum(*n.kids[1], i)
+                                    : evalNum(*n.kids[2], i);
+      case ExprKind::YearOf:
+        return double(yearOfDays(int64_t(evalNum(*n.kids[0], i))));
+      case ExprKind::SubstrInt:
+        return n.dictValue[size_t(n.colv->intAt(i))];
+      default:
+        return evalB(n, i) ? 1.0 : 0.0;
+    }
+}
+
+} // namespace
+
+BoundExpr::BoundExpr(ExprPtr e, const Chunk &chunk, const ParamMap *params)
+{
+    size_ = exprSize(*e);
+
+    // Recursive bind.
+    std::function<std::shared_ptr<Node>(const Expr &)> bind =
+        [&](const Expr &x) -> std::shared_ptr<Node> {
+        auto n = std::make_shared<Node>();
+        n->kind = x.kind;
+        n->cmp = x.cmp;
+        n->logic = x.logic;
+        n->arith = x.arith;
+        n->pattern = x.pattern;
+        n->substrPos = x.substrPos;
+        n->substrLen = x.substrLen;
+        n->inStrings = x.inStrings;
+        n->inInts = x.inInts;
+        switch (x.kind) {
+          case ExprKind::ColRef:
+            n->colv = &chunk.byName(x.column);
+            break;
+          case ExprKind::Const:
+            n->literal = x.literal;
+            break;
+          case ExprKind::Param: {
+            if (!params)
+                panic("expression parameter '" + x.param +
+                      "' with no param map");
+            auto it = params->find(x.param);
+            if (it == params->end())
+                panic("unbound expression parameter '" + x.param + "'");
+            n->kind = ExprKind::Const;
+            n->literal = it->second;
+            break;
+          }
+          case ExprKind::Like:
+          case ExprKind::SubstrIn:
+          case ExprKind::SubstrInt:
+          case ExprKind::InList:
+            n->colv = &chunk.byName(x.column);
+            break;
+          default:
+            break;
+        }
+        for (const auto &k : x.kids)
+            n->kids.push_back(bind(*k));
+
+        // Post-bind analysis.
+        if (n->kind == ExprKind::Cmp) {
+            const Node &a = *n->kids[0];
+            const Node &b = *n->kids[1];
+            const bool a_str =
+                (a.kind == ExprKind::ColRef &&
+                 a.colv->type() == TypeId::String) ||
+                (a.kind == ExprKind::Const && a.literal.isString());
+            const bool b_str =
+                (b.kind == ExprKind::ColRef &&
+                 b.colv->type() == TypeId::String) ||
+                (b.kind == ExprKind::Const && b.literal.isString());
+            n->stringCmp = a_str && b_str;
+            if (n->stringCmp && a.kind == ExprKind::ColRef &&
+                b.kind == ExprKind::Const && a.colv->dict()) {
+                const uint32_t code =
+                    a.colv->dict()->lookup(b.literal.asString());
+                n->constCode =
+                    code == UINT32_MAX ? int64_t(-1) : int64_t(code);
+            }
+        }
+        if (n->kind == ExprKind::Like || n->kind == ExprKind::SubstrIn) {
+            if (n->colv->type() != TypeId::String || !n->colv->dict())
+                panic("LIKE/SUBSTR on non-string column");
+            const StringDict &d = *n->colv->dict();
+            n->dictMatch.resize(d.size(), 0);
+            for (uint32_t c = 0; c < d.size(); ++c) {
+                const std::string &s = d.at(c);
+                bool m;
+                if (n->kind == ExprKind::Like) {
+                    m = likeMatch(s, n->pattern);
+                } else {
+                    const std::string sub = s.substr(
+                        size_t(n->substrPos - 1),
+                        size_t(n->substrLen));
+                    m = std::find(n->inStrings.begin(),
+                                  n->inStrings.end(),
+                                  sub) != n->inStrings.end();
+                }
+                n->dictMatch[c] = m ? 1 : 0;
+            }
+        }
+        if (n->kind == ExprKind::SubstrInt) {
+            if (n->colv->type() != TypeId::String || !n->colv->dict())
+                panic("SUBSTR-INT on non-string column");
+            const StringDict &d = *n->colv->dict();
+            n->dictValue.resize(d.size(), 0.0);
+            for (uint32_t c = 0; c < d.size(); ++c) {
+                const std::string sub = d.at(c).substr(
+                    size_t(n->substrPos - 1), size_t(n->substrLen));
+                n->dictValue[c] = double(std::atoll(sub.c_str()));
+            }
+        }
+        if (n->kind == ExprKind::InList && !n->inStrings.empty()) {
+            if (n->colv->type() != TypeId::String || !n->colv->dict())
+                panic("IN string list on non-string column");
+            for (const auto &s : n->inStrings) {
+                const uint32_t c = n->colv->dict()->lookup(s);
+                if (c != UINT32_MAX)
+                    n->inCodes.push_back(int64_t(c));
+            }
+            n->inCodesValid = true;
+        }
+        return n;
+    };
+    root_ = bind(*e);
+}
+
+bool
+BoundExpr::evalBool(size_t i) const
+{
+    return evalB(*root_, i);
+}
+
+double
+BoundExpr::evalNumeric(size_t i) const
+{
+    return evalNum(*root_, i);
+}
+
+std::vector<uint32_t>
+filterRows(const ExprPtr &e, const Chunk &chunk, const ParamMap *params)
+{
+    BoundExpr be(e, chunk, params);
+    std::vector<uint32_t> sel;
+    const size_t n = chunk.rows();
+    for (size_t i = 0; i < n; ++i)
+        if (be.evalBool(i))
+            sel.push_back(uint32_t(i));
+    return sel;
+}
+
+ColumnVector
+evalColumn(const ExprPtr &e, const Chunk &chunk, const std::string &name,
+           const ParamMap *params)
+{
+    BoundExpr be(e, chunk, params);
+    ColumnVector out = ColumnVector::doubles(name);
+    const size_t n = chunk.rows();
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.doubles().push_back(be.evalNumeric(i));
+    return out;
+}
+
+} // namespace dbsens

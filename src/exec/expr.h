@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Scalar expression trees evaluated over chunks: column references,
+ * literals, parameters (filled by scalar subqueries), comparisons,
+ * boolean logic, arithmetic, LIKE patterns, IN lists, CASE WHEN,
+ * SUBSTRING-IN, and YEAR extraction — everything the TPC-H/E query
+ * suite needs.
+ */
+
+#ifndef DBSENS_EXEC_EXPR_H
+#define DBSENS_EXEC_EXPR_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "exec/chunk.h"
+
+namespace dbsens {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class ExprKind : uint8_t {
+    ColRef,   ///< named column of the input chunk
+    Const,    ///< literal Value
+    Param,    ///< named runtime parameter (scalar subquery result)
+    Cmp,      ///< binary comparison
+    Logic,    ///< AND / OR / NOT
+    Arith,    ///< + - * /
+    Like,     ///< string LIKE with '%' wildcards
+    InList,   ///< column IN (literal list)
+    SubstrIn, ///< SUBSTRING(col, pos, len) IN (literal list)
+    SubstrInt, ///< SUBSTRING(col, pos, len) parsed as an integer
+    CaseWhen, ///< CASE WHEN cond THEN a ELSE b END (numeric)
+    YearOf,   ///< EXTRACT(YEAR FROM date-typed int column)
+};
+
+enum class CmpOp : uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+enum class LogicOp : uint8_t { And, Or, Not };
+enum class ArithOp : uint8_t { Add, Sub, Mul, Div };
+
+/** One expression node. */
+struct Expr
+{
+    ExprKind kind;
+    // ColRef
+    std::string column;
+    // Const
+    Value literal;
+    // Param
+    std::string param;
+    // Cmp / Logic / Arith / CaseWhen children
+    CmpOp cmp{};
+    LogicOp logic{};
+    ArithOp arith{};
+    std::vector<ExprPtr> kids;
+    // Like / SubstrIn
+    std::string pattern;
+    int substrPos = 0;
+    int substrLen = 0;
+    std::vector<std::string> inStrings;
+    std::vector<int64_t> inInts;
+};
+
+// ------------------------------------------------------------- builders
+
+ExprPtr col(const std::string &name);
+ExprPtr lit(Value v);
+ExprPtr param(const std::string &name);
+ExprPtr cmp(CmpOp op, ExprPtr a, ExprPtr b);
+ExprPtr eq(ExprPtr a, ExprPtr b);
+ExprPtr ne(ExprPtr a, ExprPtr b);
+ExprPtr lt(ExprPtr a, ExprPtr b);
+ExprPtr le(ExprPtr a, ExprPtr b);
+ExprPtr gt(ExprPtr a, ExprPtr b);
+ExprPtr ge(ExprPtr a, ExprPtr b);
+ExprPtr between(ExprPtr x, Value lo, Value hi);
+ExprPtr land(ExprPtr a, ExprPtr b);
+ExprPtr lor(ExprPtr a, ExprPtr b);
+ExprPtr lnot(ExprPtr a);
+ExprPtr add(ExprPtr a, ExprPtr b);
+ExprPtr sub(ExprPtr a, ExprPtr b);
+ExprPtr mul(ExprPtr a, ExprPtr b);
+ExprPtr divide(ExprPtr a, ExprPtr b);
+ExprPtr like(const std::string &column, const std::string &pattern);
+ExprPtr inList(const std::string &column, std::vector<std::string> items);
+ExprPtr inListInt(const std::string &column, std::vector<int64_t> items);
+ExprPtr substrIn(const std::string &column, int pos, int len,
+                 std::vector<std::string> items);
+ExprPtr substrInt(const std::string &column, int pos, int len);
+ExprPtr caseWhen(ExprPtr cond, ExprPtr then_e, ExprPtr else_e);
+ExprPtr yearOf(ExprPtr date);
+
+/** SQL LIKE match with '%' wildcards ('_' unsupported, unused). */
+bool likeMatch(const std::string &s, const std::string &pattern);
+
+/** Calendar year of a days-since-epoch date. */
+int64_t yearOfDays(int64_t days);
+
+// ------------------------------------------------------------ evaluation
+
+/** Runtime parameters (scalar subquery results). */
+using ParamMap = std::map<std::string, Value>;
+
+/** Number of nodes in an expression (instruction-cost weighting). */
+int exprSize(const Expr &e);
+
+/**
+ * Row-wise evaluator bound to a chunk. Column references are resolved
+ * once at bind time.
+ */
+class BoundExpr
+{
+  public:
+    BoundExpr(ExprPtr e, const Chunk &chunk, const ParamMap *params);
+
+    /** Evaluate as a boolean at row i. */
+    bool evalBool(size_t i) const;
+
+    /** Evaluate as a numeric (double) at row i. */
+    double evalNumeric(size_t i) const;
+
+    /** Evaluate as int64 at row i. */
+    int64_t evalInt(size_t i) const { return int64_t(evalNumeric(i)); }
+
+    int size() const { return size_; }
+
+    /** Bound node; public for the internal evaluator functions. */
+    struct Node;
+
+  private:
+    std::shared_ptr<Node> root_;
+    int size_ = 0;
+};
+
+/** Selection vector of rows where `e` is true. */
+std::vector<uint32_t> filterRows(const ExprPtr &e, const Chunk &chunk,
+                                 const ParamMap *params = nullptr);
+
+/** Materialize a numeric expression over all rows of a chunk. */
+ColumnVector evalColumn(const ExprPtr &e, const Chunk &chunk,
+                        const std::string &name,
+                        const ParamMap *params = nullptr);
+
+} // namespace dbsens
+
+#endif // DBSENS_EXEC_EXPR_H

@@ -1,0 +1,156 @@
+#include "exec/plan.h"
+
+namespace dbsens {
+
+PlanBuilder
+PlanBuilder::scan(const std::string &table,
+                  std::vector<std::string> columns,
+                  const std::string &prefix)
+{
+    auto n = std::make_unique<PlanNode>();
+    n->kind = PlanKind::Scan;
+    n->table = table;
+    n->columns = std::move(columns);
+    n->columnPrefix = prefix;
+    return PlanBuilder(std::move(n));
+}
+
+PlanBuilder
+PlanBuilder::filter(ExprPtr predicate) &&
+{
+    auto n = std::make_unique<PlanNode>();
+    n->kind = PlanKind::Filter;
+    n->predicate = std::move(predicate);
+    n->children.push_back(std::move(node_));
+    return PlanBuilder(std::move(n));
+}
+
+PlanBuilder
+PlanBuilder::project(std::vector<ProjSpec> projections) &&
+{
+    auto n = std::make_unique<PlanNode>();
+    n->kind = PlanKind::Project;
+    n->projections = std::move(projections);
+    n->children.push_back(std::move(node_));
+    return PlanBuilder(std::move(n));
+}
+
+PlanBuilder
+PlanBuilder::join(PlanBuilder right, JoinType type,
+                  std::vector<std::string> left_keys,
+                  std::vector<std::string> right_keys) &&
+{
+    auto n = std::make_unique<PlanNode>();
+    n->kind = PlanKind::HashJoin;
+    n->joinType = type;
+    n->leftKeys = std::move(left_keys);
+    n->rightKeys = std::move(right_keys);
+    n->children.push_back(std::move(node_));
+    n->children.push_back(std::move(right.node_));
+    return PlanBuilder(std::move(n));
+}
+
+PlanBuilder
+PlanBuilder::aggregate(std::vector<std::string> group_by,
+                       std::vector<AggSpec> aggs) &&
+{
+    auto n = std::make_unique<PlanNode>();
+    n->kind = PlanKind::Aggregate;
+    n->groupBy = std::move(group_by);
+    n->aggs = std::move(aggs);
+    n->children.push_back(std::move(node_));
+    return PlanBuilder(std::move(n));
+}
+
+PlanBuilder
+PlanBuilder::orderBy(std::vector<SortKey> keys) &&
+{
+    auto n = std::make_unique<PlanNode>();
+    n->kind = PlanKind::Sort;
+    n->sortKeys = std::move(keys);
+    n->children.push_back(std::move(node_));
+    return PlanBuilder(std::move(n));
+}
+
+PlanBuilder
+PlanBuilder::topN(std::vector<SortKey> keys, size_t limit) &&
+{
+    auto n = std::make_unique<PlanNode>();
+    n->kind = PlanKind::TopN;
+    n->sortKeys = std::move(keys);
+    n->limit = limit;
+    n->children.push_back(std::move(node_));
+    return PlanBuilder(std::move(n));
+}
+
+PlanBuilder
+PlanBuilder::withParam(const std::string &name, PlanBuilder sub) &&
+{
+    node_->paramSubplans.push_back({name, std::move(sub.node_)});
+    return PlanBuilder(std::move(node_));
+}
+
+AggSpec
+aggSum(ExprPtr arg, const std::string &alias)
+{
+    return {AggFunc::Sum, std::move(arg), alias};
+}
+
+AggSpec
+aggAvg(ExprPtr arg, const std::string &alias)
+{
+    return {AggFunc::Avg, std::move(arg), alias};
+}
+
+AggSpec
+aggMin(ExprPtr arg, const std::string &alias)
+{
+    return {AggFunc::Min, std::move(arg), alias};
+}
+
+AggSpec
+aggMax(ExprPtr arg, const std::string &alias)
+{
+    return {AggFunc::Max, std::move(arg), alias};
+}
+
+AggSpec
+aggCount(const std::string &alias)
+{
+    return {AggFunc::Count, nullptr, alias};
+}
+
+AggSpec
+aggCountDistinct(ExprPtr arg, const std::string &alias)
+{
+    return {AggFunc::CountDistinct, std::move(arg), alias};
+}
+
+PlanPtr
+clonePlan(const PlanNode &n)
+{
+    auto c = std::make_unique<PlanNode>();
+    c->kind = n.kind;
+    c->table = n.table;
+    c->columns = n.columns;
+    c->columnPrefix = n.columnPrefix;
+    c->predicate = n.predicate;
+    c->projections = n.projections;
+    c->joinType = n.joinType;
+    c->leftKeys = n.leftKeys;
+    c->rightKeys = n.rightKeys;
+    c->groupBy = n.groupBy;
+    c->aggs = n.aggs;
+    c->sortKeys = n.sortKeys;
+    c->limit = n.limit;
+    c->parallel = n.parallel;
+    c->estRows = n.estRows;
+    c->estCost = n.estCost;
+    for (const auto &k : n.children)
+        c->children.push_back(clonePlan(*k));
+    for (const auto &p : n.paramSubplans)
+        c->paramSubplans.push_back({p.name, clonePlan(*p.plan)});
+    return c;
+}
+
+} // namespace dbsens

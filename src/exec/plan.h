@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Query plans. One tree type serves as both the logical plan (built by
+ * workloads through PlanBuilder) and the physical plan (the optimizer
+ * fills in join algorithms, parallelism flags, and exchange points).
+ * The executor interprets the annotated tree.
+ */
+
+#ifndef DBSENS_EXEC_PLAN_H
+#define DBSENS_EXEC_PLAN_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/expr.h"
+
+namespace dbsens {
+
+enum class PlanKind : uint8_t {
+    Scan,        ///< base-table scan (layout chosen by the table)
+    Filter,      ///< predicate selection
+    Project,     ///< expression projection
+    HashJoin,    ///< hash join (build = right side)
+    IndexNLJoin, ///< index nested-loops join (inner = indexed table)
+    Aggregate,   ///< hash aggregation (group-by may be empty)
+    Sort,        ///< full sort
+    TopN,        ///< sort + limit
+    Exchange,    ///< parallelism boundary (repartition / gather)
+};
+
+enum class JoinType : uint8_t { Inner, LeftOuter, LeftSemi, LeftAnti };
+
+enum class AggFunc : uint8_t { Sum, Avg, Min, Max, Count, CountDistinct };
+
+/** One aggregate output. */
+struct AggSpec
+{
+    AggFunc fn;
+    ExprPtr arg; ///< null for COUNT(*)
+    std::string alias;
+};
+
+/** One projection output. */
+struct ProjSpec
+{
+    ExprPtr expr;
+    std::string alias;
+};
+
+/** One sort key. */
+struct SortKey
+{
+    std::string column;
+    bool desc = false;
+};
+
+/** A named scalar subquery whose result becomes an expression param. */
+struct ParamSubplan
+{
+    std::string name;
+    std::unique_ptr<struct PlanNode> plan; ///< must yield 1 row, 1 col
+};
+
+/** A node of the (logical + physical) plan tree. */
+struct PlanNode
+{
+    PlanKind kind;
+    std::vector<std::unique_ptr<PlanNode>> children;
+
+    // Scan
+    std::string table;
+    std::vector<std::string> columns; ///< base columns to read
+    std::string columnPrefix;         ///< alias prefix (self-joins)
+
+    // Filter
+    ExprPtr predicate;
+
+    // Project
+    std::vector<ProjSpec> projections;
+
+    // Joins: key columns by (output) name on each side. For
+    // IndexNLJoin the right side is described by table/columns/
+    // columnPrefix on this node (inner lookups via the key's B-tree).
+    JoinType joinType = JoinType::Inner;
+    std::vector<std::string> leftKeys;
+    std::vector<std::string> rightKeys;
+
+    // Aggregate
+    std::vector<std::string> groupBy;
+    std::vector<AggSpec> aggs;
+
+    // Sort / TopN
+    std::vector<SortKey> sortKeys;
+    size_t limit = 0;
+
+    // Scalar subqueries feeding expression params of this node.
+    std::vector<ParamSubplan> paramSubplans;
+
+    // ---- physical annotations (set by the optimizer) ----
+    bool parallel = false;    ///< runs on DOP workers
+    double estRows = 0;       ///< optimizer cardinality estimate
+    double estCost = 0;       ///< optimizer cost estimate
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/** Fluent builder over PlanNode trees. */
+class PlanBuilder
+{
+  public:
+    /** Scan a base table, optionally renaming columns with a prefix. */
+    static PlanBuilder scan(const std::string &table,
+                            std::vector<std::string> columns,
+                            const std::string &prefix = "");
+
+    PlanBuilder filter(ExprPtr predicate) &&;
+    PlanBuilder project(std::vector<ProjSpec> projections) &&;
+
+    /** Hash-joinable join; algorithm is chosen by the optimizer. */
+    PlanBuilder join(PlanBuilder right, JoinType type,
+                     std::vector<std::string> left_keys,
+                     std::vector<std::string> right_keys) &&;
+
+    PlanBuilder aggregate(std::vector<std::string> group_by,
+                          std::vector<AggSpec> aggs) &&;
+    PlanBuilder orderBy(std::vector<SortKey> keys) &&;
+    PlanBuilder topN(std::vector<SortKey> keys, size_t limit) &&;
+
+    /** Attach a scalar subquery whose single value binds `name`. */
+    PlanBuilder withParam(const std::string &name, PlanBuilder sub) &&;
+
+    PlanPtr build() && { return std::move(node_); }
+
+  private:
+    explicit PlanBuilder(PlanPtr n) : node_(std::move(n)) {}
+
+    PlanPtr node_;
+};
+
+/** Aggregate spec helpers. */
+AggSpec aggSum(ExprPtr arg, const std::string &alias);
+AggSpec aggAvg(ExprPtr arg, const std::string &alias);
+AggSpec aggMin(ExprPtr arg, const std::string &alias);
+AggSpec aggMax(ExprPtr arg, const std::string &alias);
+AggSpec aggCount(const std::string &alias);
+AggSpec aggCountDistinct(ExprPtr arg, const std::string &alias);
+
+/** Deep copy of a plan tree (plans are re-optimized per config). */
+PlanPtr clonePlan(const PlanNode &n);
+
+} // namespace dbsens
+
+#endif // DBSENS_EXEC_PLAN_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Work profiles: the per-operator cost record the functional executor
+ * produces and the discrete-event simulation replays. Profiling a
+ * query once decouples the expensive functional execution from the
+ * cheap per-configuration sweeps (cores, cache, MAXDOP, grants).
+ */
+
+#ifndef DBSENS_EXEC_PROFILE_H
+#define DBSENS_EXEC_PROFILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dbsens {
+
+/** Cost record for one executed operator (one replay stage). */
+struct OpProfile
+{
+    std::string label;        ///< e.g. "HashJoin(l_orderkey)"
+    double instructions = 0;  ///< retired-instruction estimate
+    uint64_t cacheTouches = 0; ///< sampled LLC-reaching accesses
+    uint64_t ioReadBytes = 0; ///< buffer misses during this operator
+    uint64_t ioWriteBytes = 0;
+    uint64_t rowsIn = 0;
+    uint64_t rowsOut = 0;
+    uint64_t exchangeRows = 0; ///< rows through an Exchange boundary
+    uint64_t memRequired = 0;  ///< bytes of work memory (spill if over)
+    bool parallelizable = true;
+};
+
+/** Cost record for one executed query. */
+struct QueryProfile
+{
+    std::string name;
+    std::vector<OpProfile> ops; ///< in execution (stage) order
+    uint64_t resultRows = 0;
+
+    double
+    totalInstructions() const
+    {
+        double s = 0;
+        for (const auto &o : ops)
+            s += o.instructions;
+        return s;
+    }
+
+    uint64_t
+    totalCacheTouches() const
+    {
+        uint64_t s = 0;
+        for (const auto &o : ops)
+            s += o.cacheTouches;
+        return s;
+    }
+
+    uint64_t
+    totalReadBytes() const
+    {
+        uint64_t s = 0;
+        for (const auto &o : ops)
+            s += o.ioReadBytes;
+        return s;
+    }
+
+    uint64_t
+    totalMemRequired() const
+    {
+        uint64_t s = 0;
+        for (const auto &o : ops)
+            s += o.memRequired;
+        return s;
+    }
+};
+
+} // namespace dbsens
+
+#endif // DBSENS_EXEC_PROFILE_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Executor-facing view of a stored table: the functional data, the
+ * physical layout objects for accounting, and any B-tree indexes.
+ * Implemented by engine::Database; kept abstract here so exec does not
+ * depend on the engine layer.
+ */
+
+#ifndef DBSENS_EXEC_TABLE_HANDLE_H
+#define DBSENS_EXEC_TABLE_HANDLE_H
+
+#include <string>
+
+#include "storage/btree.h"
+#include "storage/column_store.h"
+#include "storage/columnstore_index.h"
+#include "storage/row_store.h"
+#include "storage/table_data.h"
+
+namespace dbsens {
+
+/** A resolved table: data plus layout and indexes (may be null). */
+struct TableHandle
+{
+    TableId id = kInvalidTable;
+    std::string name;
+    TableData *data = nullptr;
+    RowStore *rowStore = nullptr;         ///< OLTP layout
+    ColumnStore *columnStore = nullptr;   ///< DSS layout
+    ColumnstoreIndex *ncci = nullptr;     ///< HTAP updateable index
+
+    /** Index on a column, or null. */
+    virtual BTree *indexOn(const std::string &column) const = 0;
+
+    virtual ~TableHandle() = default;
+};
+
+/** Name -> table resolution for the executor. */
+class TableResolver
+{
+  public:
+    virtual ~TableResolver() = default;
+
+    /** Find a table by name; panics in implementations if absent. */
+    virtual const TableHandle &find(const std::string &name) const = 0;
+};
+
+} // namespace dbsens
+
+#endif // DBSENS_EXEC_TABLE_HANDLE_H

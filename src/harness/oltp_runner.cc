@@ -1,0 +1,60 @@
+#include "harness/oltp_runner.h"
+
+namespace dbsens {
+
+OltpRunResult
+runOltp(OltpWorkload &workload, RunConfig cfg)
+{
+    std::unique_ptr<Database> db = workload.generate(cfg.seed);
+    return runOltpOn(workload, *db, cfg);
+}
+
+OltpRunResult
+runOltpOn(OltpWorkload &workload, Database &db, RunConfig cfg)
+{
+    if (cfg.sampleInterval == calib::kSampleIntervalNs)
+        cfg.sampleInterval = kDefaultOltpInterval;
+    if (cfg.warmup == 0)
+        cfg.warmup = kDefaultOltpWarmup;
+
+    SimRun run(db, cfg);
+    workload.startSessions(run, db, cfg.seed * 7919 + 17);
+    // Reach steady state (caches filled, queues formed), then reset
+    // counters and start sampling the measured window.
+    run.completeWarmup();
+    const uint64_t miss_base = run.feed.misses();
+    // Normalize each interval delta to a per-second rate.
+    const double rate_scale = 1.0 / toSeconds(cfg.sampleInterval);
+    run.startSampling(rate_scale);
+    run.runToCompletion();
+
+    OltpRunResult res;
+    const double secs = toSeconds(cfg.duration);
+    res.tps = double(run.txnsCommitted) / secs;
+    res.qps = double(run.queriesCompleted) / secs;
+    res.aborts = double(run.txnsAborted) / secs;
+    res.waits = run.waits;
+    res.lockTimeouts = run.locks.timeouts();
+    const double sampled_misses =
+        double(run.feed.misses() - miss_base);
+    const double instr = run.instructionsRetired;
+    res.mpki = instr > 0 ? sampled_misses *
+                               calib::kOltpAccessWeight /
+                               (instr / 1000.0)
+                         : 0.0;
+    if (run.sampler.hasSeries("ssd_read_Bps")) {
+        res.ssdRead = run.sampler.series("ssd_read_Bps");
+        res.avgSsdReadBps = res.ssdRead.mean();
+    }
+    if (run.sampler.hasSeries("ssd_write_Bps")) {
+        res.ssdWrite = run.sampler.series("ssd_write_Bps");
+        res.avgSsdWriteBps = res.ssdWrite.mean();
+    }
+    if (run.sampler.hasSeries("dram_Bps")) {
+        res.dram = run.sampler.series("dram_Bps");
+        res.avgDramBps = res.dram.mean();
+    }
+    return res;
+}
+
+} // namespace dbsens

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * OLTP experiment runner: regenerates the workload's database (runs
+ * mutate data), configures a SimRun, spawns the client sessions, and
+ * reduces the run into the metrics the paper reports (TPS, MPKI, wait
+ * breakdown, bandwidth samples).
+ *
+ * OLTP sampling regime: per-transaction work is scale-free, so the
+ * workload behaves like the paper's in real simulated time; rates are
+ * normalized to per-second by the sampler scale (see sim/sampler.h).
+ */
+
+#ifndef DBSENS_HARNESS_OLTP_RUNNER_H
+#define DBSENS_HARNESS_OLTP_RUNNER_H
+
+#include <memory>
+
+#include "workloads/workload.h"
+
+namespace dbsens {
+
+/** Metrics from one OLTP run. */
+struct OltpRunResult
+{
+    double tps = 0;       ///< committed transactions per second
+    double qps = 0;       ///< analytical queries per second (HTAP)
+    double aborts = 0;    ///< aborts per second
+    double mpki = 0;      ///< LLC misses per kilo-instruction
+    double avgSsdReadBps = 0;
+    double avgSsdWriteBps = 0;
+    double avgDramBps = 0;
+    WaitStats waits;      ///< LOCK / LATCH / PAGELATCH / PAGEIOLATCH
+    Distribution ssdRead; ///< per-second samples (Figures 3, 4)
+    Distribution ssdWrite;
+    Distribution dram;
+    uint64_t lockTimeouts = 0;
+};
+
+/** Default OLTP run length (simulated; steady-state window). */
+inline constexpr SimDuration kDefaultOltpDuration = milliseconds(300);
+
+/** Default OLTP sampling interval (normalized to per-second rates). */
+inline constexpr SimDuration kDefaultOltpInterval = milliseconds(3);
+
+/** Default warm-up excluded from measurement. */
+inline constexpr SimDuration kDefaultOltpWarmup = milliseconds(50);
+
+/** Run one OLTP experiment: generate -> warm -> run -> reduce. */
+OltpRunResult runOltp(OltpWorkload &workload, RunConfig cfg);
+
+/**
+ * Run one experiment against an existing database (sweep mode: the
+ * tiny mutation drift of a short run is negligible next to the cost
+ * of regenerating a 100 MB database per sweep point).
+ */
+OltpRunResult runOltpOn(OltpWorkload &workload, Database &db,
+                        RunConfig cfg);
+
+} // namespace dbsens
+
+#endif // DBSENS_HARNESS_OLTP_RUNNER_H

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * TPC-H experiment driver.
+ *
+ * Owns one generated database per scale factor (TPC-H is read-only,
+ * so it is shared across sweep points), caches query profiles by
+ * physical plan signature, records the workload-level cache trace
+ * during a steady-state profiling pass, and caches the trace's miss
+ * rate per CAT allocation. Sweeps over cores / LLC / MAXDOP / grants /
+ * bandwidth then only replay profiles in the DES.
+ */
+
+#ifndef DBSENS_HARNESS_TPCH_DRIVER_H
+#define DBSENS_HARNESS_TPCH_DRIVER_H
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "engine/query_runner.h"
+#include "workloads/tpch/tpch_gen.h"
+#include "workloads/tpch/tpch_queries.h"
+
+namespace dbsens {
+
+/** Result of one TPC-H throughput run. */
+struct TpchRunResult
+{
+    double qps = 0;  ///< queries per paper second
+    double mpki = 0; ///< misses per kilo-instruction
+    double avgSsdReadBps = 0;
+    double avgSsdWriteBps = 0;
+    double avgDramBps = 0;
+    /** Per-paper-second rate samples (Figures 3 and 4). */
+    Distribution ssdRead;
+    Distribution ssdWrite;
+    Distribution dram;
+};
+
+/** Driver for all TPC-H experiments at one scale factor. */
+class TpchDriver
+{
+  public:
+    explicit TpchDriver(int sf, uint64_t seed = 19920101);
+
+    int scaleFactor() const { return sf_; }
+    Database &db() { return *db_; }
+
+    /**
+     * Profile of query q under maxdop (cached by plan signature).
+     * Profiles are taken against a steady-state (pre-scanned) buffer
+     * pool so they carry steady-state I/O.
+     */
+    const ProfiledQuery &profile(int q, int maxdop);
+
+    /** Workload-level LLC miss rate at a CAT allocation (cached). */
+    double missRate(int llc_mb);
+
+    /** Sampled cache touches per 1000 instructions (workload-level). */
+    double touchesPerKiloInstr();
+
+    /**
+     * Run `streams` concurrent query streams for `cfg.duration`
+     * (paper: 3 streams, 1 hour). Each stream runs all 22 queries in
+     * a seeded random order, repeatedly. maxdop defaults to
+     * cfg.maxdop capped at cfg.cores.
+     */
+    TpchRunResult runStreams(const RunConfig &cfg, int streams = 3);
+
+    /** Replay one query once; returns its elapsed simulated ns. */
+    double runSingleQuery(int q, const RunConfig &cfg);
+
+  private:
+    /** Steady-state pass: run all 22 once (warm) + record the trace. */
+    void steadyStatePass();
+
+    Task<void> streamSession(SimRun &run, int maxdop, double miss_rate,
+                             uint64_t seed);
+
+    int sf_;
+    std::unique_ptr<Database> db_;
+    std::unique_ptr<ProfilingEnv> env_;
+    AccessTrace trace_;
+    double profiledInstr_ = 0;
+    std::map<std::string, ProfiledQuery> profilesBySig_;
+    std::map<std::pair<int, int>, const ProfiledQuery *> byQueryDop_;
+    std::map<int, double> missRateByMb_;
+};
+
+/** Serial-threshold calibrated for the scaled TPC-H sizes. */
+OptimizerConfig tpchOptimizerConfig(int maxdop);
+
+} // namespace dbsens
+
+#endif // DBSENS_HARNESS_TPCH_DRIVER_H

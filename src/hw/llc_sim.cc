@@ -1,0 +1,81 @@
+#include "hw/llc_sim.h"
+
+#include "core/logging.h"
+
+namespace dbsens {
+
+LlcSim::LlcSim()
+{
+    for (auto &s : sockets_)
+        s.ways.assign(size_t(kSets) * kWays, Way{});
+}
+
+void
+LlcSim::setWayMask(uint32_t mask)
+{
+    mask &= (1u << kWays) - 1;
+    if (mask == 0)
+        fatal("CAT way mask must allow at least one way");
+    mask_ = mask;
+    allowedWays_ = __builtin_popcount(mask);
+}
+
+void
+LlcSim::setTotalAllocationMb(int mb)
+{
+    const int ways_per_socket = mb / 2; // 1 MB per way per socket
+    if (ways_per_socket < 1 || ways_per_socket > kWays)
+        fatal("LLC allocation must be 2..40 MB in steps of 2, got " +
+              std::to_string(mb));
+    setWayMask((1u << ways_per_socket) - 1);
+}
+
+bool
+LlcSim::access(int socket, uint64_t addr)
+{
+    ++accesses_;
+    ++clock_;
+    auto &cache = sockets_[socket & 1];
+    const uint64_t line = addr / kCacheLineSize;
+    const auto set = size_t(line % kSets);
+    const uint64_t tag = line / kSets;
+    Way *base = &cache.ways[set * kWays];
+
+    // Hit check across *all* ways: CAT restricts allocation, not
+    // lookup.
+    for (int w = 0; w < kWays; ++w) {
+        if (base[w].tag == tag) {
+            base[w].lastUse = int64_t(clock_);
+            return true;
+        }
+    }
+
+    // Miss: fill into the oldest allowed way. New lines enter with an
+    // aged timestamp (scan resistance; see kInsertAge).
+    ++misses_;
+    int victim = -1;
+    int64_t oldest = INT64_MAX;
+    for (int w = 0; w < kWays; ++w) {
+        if (!(mask_ & (1u << w)))
+            continue;
+        if (base[w].lastUse < oldest) {
+            oldest = base[w].lastUse;
+            victim = w;
+        }
+    }
+    base[victim].tag = tag;
+    base[victim].lastUse = int64_t(clock_) - int64_t(kInsertAge);
+    return false;
+}
+
+void
+LlcSim::reset()
+{
+    for (auto &s : sockets_)
+        s.ways.assign(size_t(kSets) * kWays, Way{});
+    clock_ = 0;
+    accesses_ = 0;
+    misses_ = 0;
+}
+
+} // namespace dbsens

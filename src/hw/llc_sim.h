@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Last-level-cache simulator with Intel CAT-style way allocation.
+ *
+ * Geometry copies the paper's testbed: per socket, 20 MB, 20 ways,
+ * 64 B lines => 16384 sets. A Class-of-Service way mask restricts
+ * which ways a fill may allocate into or evict from; accesses that hit
+ * in ways *outside* the mask still count as hits, exactly matching CAT
+ * semantics (paper Section 5). The paper assigns all cores one COS and
+ * splits the allocation equally between sockets, so the simulator
+ * exposes a single mask applied to both sockets.
+ */
+
+#ifndef DBSENS_HW_LLC_SIM_H
+#define DBSENS_HW_LLC_SIM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/calibration.h"
+#include "core/types.h"
+
+namespace dbsens {
+
+/** Per-socket set-associative LLC with CAT way masks and LRU. */
+class LlcSim
+{
+  public:
+    LlcSim();
+
+    /**
+     * Set the COS way mask applied on both sockets. Bit i allows way
+     * i. The paper grows allocations as supersets: 0x1 for 1 way/socket
+     * (2 MB total), 0x3 for 2 ways (4 MB), ...
+     */
+    void setWayMask(uint32_t mask);
+
+    /**
+     * Convenience: set a total allocation in MB across both sockets
+     * (even values 2..40); allocates mb/2 ways per socket as a
+     * contiguous low mask.
+     */
+    void setTotalAllocationMb(int mb);
+
+    uint32_t wayMask() const { return mask_; }
+
+    /** Number of ways allowed per socket under the current mask. */
+    int allowedWays() const { return allowedWays_; }
+
+    /**
+     * Simulate one line access on a socket. Returns true on hit.
+     * Misses allocate into the LRU way among the allowed ways.
+     */
+    bool access(int socket, uint64_t addr);
+
+    /** Flush all contents (the paper reboots between sweeps). */
+    void reset();
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t misses() const { return misses_; }
+
+    /** Reset counters but keep cache contents (end of warmup). */
+    void resetCounters() { accesses_ = 0; misses_ = 0; }
+
+    static constexpr int kWays = calib::kLlcWays;
+    static constexpr int kSets =
+        int(calib::kLlcBytesPerSocket / (kCacheLineSize * kWays));
+
+    /**
+     * Scan-resistant insertion: newly filled lines enter with an aged
+     * timestamp (RRIP-style), so streaming lines that are never
+     * re-referenced become the next victims instead of flushing the
+     * re-used working set. Modern server LLC replacement (including
+     * the paper's Broadwell) behaves this way.
+     */
+    static constexpr uint64_t kInsertAge = 1u << 20;
+
+  private:
+    struct Way
+    {
+        uint64_t tag = ~uint64_t{0};
+        /** Signed so aged insertion stays ordered from clock zero;
+         * empty ways are the most-preferred victims. */
+        int64_t lastUse = INT64_MIN;
+    };
+
+    struct SocketCache
+    {
+        std::vector<Way> ways; // kSets * kWays, row-major by set
+    };
+
+    SocketCache sockets_[calib::kSockets];
+    uint32_t mask_ = (1u << kWays) - 1;
+    int allowedWays_ = kWays;
+    uint64_t clock_ = 0;
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace dbsens
+
+#endif // DBSENS_HW_LLC_SIM_H

@@ -1,0 +1,153 @@
+#include "opt/plan_printer.h"
+
+#include <sstream>
+
+#include "core/table_printer.h"
+
+namespace dbsens {
+
+namespace {
+
+std::string
+keysLabel(const std::vector<std::string> &keys)
+{
+    std::string s;
+    for (const auto &k : keys) {
+        if (!s.empty())
+            s += ", ";
+        s += k;
+    }
+    return s;
+}
+
+const char *
+joinTypeName(JoinType t)
+{
+    switch (t) {
+      case JoinType::Inner: return "Inner";
+      case JoinType::LeftOuter: return "LeftOuter";
+      case JoinType::LeftSemi: return "LeftSemi";
+      case JoinType::LeftAnti: return "LeftAnti";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+planNodeLabel(const PlanNode &n)
+{
+    std::ostringstream os;
+    switch (n.kind) {
+      case PlanKind::Scan:
+        os << "Scan " << n.table;
+        break;
+      case PlanKind::Filter:
+        os << "Filter";
+        break;
+      case PlanKind::Project:
+        os << "Compute Scalar";
+        break;
+      case PlanKind::HashJoin:
+        os << "Hash Join (" << joinTypeName(n.joinType) << ", "
+           << keysLabel(n.leftKeys) << " = " << keysLabel(n.rightKeys)
+           << ")";
+        break;
+      case PlanKind::IndexNLJoin:
+        os << "Nested Loops (Inner, index " << n.table << "."
+           << keysLabel(n.rightKeys) << ")";
+        break;
+      case PlanKind::Aggregate:
+        os << (n.groupBy.empty() ? "Scalar Aggregate"
+                                 : "Hash Aggregate (" +
+                                       keysLabel(n.groupBy) + ")");
+        break;
+      case PlanKind::Sort:
+        os << "Sort";
+        break;
+      case PlanKind::TopN:
+        os << "Top " << n.limit;
+        break;
+      case PlanKind::Exchange:
+        os << "Exchange (repartition)";
+        break;
+    }
+    if (n.parallel)
+        os << "  <=>";
+    if (n.estRows > 0)
+        os << "  [est " << formatFixed(n.estRows, 0) << " rows]";
+    return os.str();
+}
+
+namespace {
+
+void
+printRec(const PlanNode &n, std::ostream &os, int depth)
+{
+    for (int i = 0; i < depth; ++i)
+        os << "  ";
+    os << (depth ? "-> " : "") << planNodeLabel(n) << "\n";
+    for (const auto &p : n.paramSubplans) {
+        for (int i = 0; i < depth + 1; ++i)
+            os << "  ";
+        os << "[param " << p.name << "]\n";
+        printRec(*p.plan, os, depth + 2);
+    }
+    for (const auto &k : n.children)
+        printRec(*k, os, depth + 1);
+}
+
+void
+signatureRec(const PlanNode &n, std::ostream &os)
+{
+    switch (n.kind) {
+      case PlanKind::Scan: os << "S(" << n.table << ")"; break;
+      case PlanKind::Filter: os << "F"; break;
+      case PlanKind::Project: os << "P"; break;
+      case PlanKind::HashJoin: os << "HJ"; break;
+      case PlanKind::IndexNLJoin: os << "NL(" << n.table << ")"; break;
+      case PlanKind::Aggregate: os << "A"; break;
+      case PlanKind::Sort: os << "O"; break;
+      case PlanKind::TopN: os << "T"; break;
+      case PlanKind::Exchange: os << "X"; break;
+    }
+    if (!n.paramSubplans.empty() || !n.children.empty()) {
+        os << "[";
+        for (const auto &p : n.paramSubplans) {
+            os << "p:";
+            signatureRec(*p.plan, os);
+            os << ";";
+        }
+        for (const auto &k : n.children) {
+            signatureRec(*k, os);
+            os << ";";
+        }
+        os << "]";
+    }
+}
+
+} // namespace
+
+void
+printPlan(const PlanNode &root, std::ostream &os)
+{
+    printRec(root, os, 0);
+}
+
+std::string
+planToString(const PlanNode &root)
+{
+    std::ostringstream os;
+    printPlan(root, os);
+    return os.str();
+}
+
+std::string
+planSignature(const PlanNode &root)
+{
+    std::ostringstream os;
+    signatureRec(root, os);
+    return os.str();
+}
+
+} // namespace dbsens

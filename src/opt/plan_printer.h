@@ -1,0 +1,36 @@
+/**
+ * @file
+ * ASCII plan trees in the style of Figure 7: operator names, join
+ * algorithms, estimated rows, and '<=>' markers on parallel operators
+ * (the paper's double-arrow parallelism symbol).
+ */
+
+#ifndef DBSENS_OPT_PLAN_PRINTER_H
+#define DBSENS_OPT_PLAN_PRINTER_H
+
+#include <ostream>
+#include <string>
+
+#include "exec/plan.h"
+
+namespace dbsens {
+
+/** One-line description of a plan node. */
+std::string planNodeLabel(const PlanNode &n);
+
+/** Print a plan tree with indentation. */
+void printPlan(const PlanNode &root, std::ostream &os);
+
+/** Plan tree rendered to a string. */
+std::string planToString(const PlanNode &root);
+
+/**
+ * Structural signature of a plan (operator kinds and join algorithms
+ * only) — used to detect the paper's plan changes across MAXDOP and
+ * to key the profile cache.
+ */
+std::string planSignature(const PlanNode &root);
+
+} // namespace dbsens
+
+#endif // DBSENS_OPT_PLAN_PRINTER_H

@@ -1,0 +1,164 @@
+#include "sim/core_scheduler.h"
+
+#include "core/logging.h"
+#include "sim/dram_model.h"
+
+namespace dbsens {
+
+namespace {
+
+/**
+ * Map an allocation-order index to (socket, physical, smt) per the
+ * paper: fill socket 0 physical cores, then socket 1 physical cores,
+ * then the second SMT threads of all physical cores.
+ */
+int
+socketOfIndex(int core)
+{
+    const int per_socket = calib::kPhysCoresPerSocket; // 8
+    return (core % (2 * per_socket)) / per_socket;
+}
+
+} // namespace
+
+/** Awaitable that grants a free logical core, queueing FIFO if none. */
+class CoreAcquire
+{
+  public:
+    explicit CoreAcquire(CoreScheduler &s) : sched(s) {}
+
+    bool
+    await_ready()
+    {
+        const int core = sched.pickFreeCore();
+        if (core >= 0) {
+            sched.cores_[core].busy = true;
+            ++sched.busyCount_;
+            waiter.grantedCore = core;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        waiter.handle = h;
+        sched.waiters_.push_back(&waiter);
+    }
+
+    int await_resume() const { return waiter.grantedCore; }
+
+  private:
+    CoreScheduler &sched;
+    CoreScheduler::Waiter waiter;
+};
+
+CoreScheduler::CoreScheduler(EventLoop &loop, DramModel *dram)
+    : loop_(loop), dram_(dram), cores_(calib::kLogicalCores)
+{
+}
+
+void
+CoreScheduler::setAllowedCores(int n)
+{
+    if (n < 1 || n > calib::kLogicalCores)
+        fatal("core allocation must be in [1, 32], got " +
+              std::to_string(n));
+    allowed_ = n;
+}
+
+int
+CoreScheduler::socketOf(int core)
+{
+    return socketOfIndex(core);
+}
+
+int
+CoreScheduler::physicalOf(int core)
+{
+    // Physical core id 0..15; logical 16..31 are the SMT siblings of
+    // logical 0..15 in allocation order.
+    return core % (calib::kSockets * calib::kPhysCoresPerSocket);
+}
+
+int
+CoreScheduler::siblingOf(int core)
+{
+    const int phys_total = calib::kSockets * calib::kPhysCoresPerSocket;
+    return core < phys_total ? core + phys_total : core - phys_total;
+}
+
+int
+CoreScheduler::pickFreeCore() const
+{
+    int fallback = -1;
+    for (int c = 0; c < allowed_; ++c) {
+        if (cores_[c].busy)
+            continue;
+        const int sib = siblingOf(c);
+        const bool sib_busy = sib < int(cores_.size()) && cores_[sib].busy;
+        if (!sib_busy)
+            return c; // prefer an idle physical core
+        if (fallback < 0)
+            fallback = c;
+    }
+    return fallback;
+}
+
+double
+CoreScheduler::burstDurationNs(int core, const CpuWork &work) const
+{
+    double dur = work.totalNs();
+    const int sib = siblingOf(core);
+    if (sib < int(cores_.size()) && cores_[sib].busy) {
+        const double avg_stall =
+            0.5 * (work.stallFraction() + cores_[sib].stallFraction);
+        const double combined = calib::smtCombinedThroughput(avg_stall);
+        // Per-thread throughput share is combined/2 of a solo thread.
+        dur *= 2.0 / combined;
+    }
+    // A burst can never move its DRAM bytes faster than the socket's
+    // achievable bandwidth.
+    if (work.dramBytes > 0) {
+        const double min_ns =
+            work.dramBytes / calib::kDramBwPerSocket * 1e9;
+        if (min_ns > dur)
+            dur = min_ns;
+    }
+    return dur;
+}
+
+Task<void>
+CoreScheduler::consume(CpuWork work)
+{
+    const int core = co_await CoreAcquire(*this);
+    cores_[core].stallFraction = work.stallFraction();
+    const double dur = burstDurationNs(core, work);
+    busyNs_ += dur;
+    workNs_ += work.totalNs();
+    if (dram_ && work.dramBytes > 0)
+        dram_->charge(socketOf(core), work.dramBytes);
+    co_await SimDelay(loop_, SimDuration(dur));
+    releaseCore(core);
+}
+
+void
+CoreScheduler::releaseCore(int core)
+{
+    cores_[core].busy = false;
+    --busyCount_;
+    if (waiters_.empty())
+        return;
+    const int next = pickFreeCore();
+    if (next < 0)
+        return;
+    Waiter *w = waiters_.front();
+    waiters_.pop_front();
+    cores_[next].busy = true;
+    ++busyCount_;
+    w->grantedCore = next;
+    loop_.post(w->handle);
+}
+
+} // namespace dbsens

@@ -1,0 +1,110 @@
+#include "sim/event_loop.h"
+
+#include "core/logging.h"
+
+namespace dbsens {
+
+namespace detail {
+
+void
+TaskPromiseBase::notifyRootDone(std::coroutine_handle<> h) noexcept
+{
+    if (ownerLoop)
+        ownerLoop->rootTaskDone(h);
+}
+
+} // namespace detail
+
+EventLoop::~EventLoop()
+{
+    reclaimFinished();
+    // Any still-pending root tasks leak their frames intentionally:
+    // destroying a suspended-but-not-finished coroutine from here is
+    // safe, but events in the queue may hold handles into them, so we
+    // simply drop the queue first.
+    while (!queue_.empty())
+        queue_.pop();
+}
+
+void
+EventLoop::at(SimTime t, std::function<void()> fn)
+{
+    if (t < now_)
+        panic("EventLoop::at scheduling into the past");
+    queue_.push(Event{t, seq_++, std::move(fn)});
+}
+
+void
+EventLoop::post(std::coroutine_handle<> h)
+{
+    postAt(now_, h);
+}
+
+void
+EventLoop::postAt(SimTime t, std::coroutine_handle<> h)
+{
+    at(t, [this, h] {
+        h.resume();
+        reclaimFinished();
+    });
+}
+
+void
+EventLoop::spawn(Task<void> task)
+{
+    auto h = task.release();
+    if (!h)
+        panic("EventLoop::spawn on empty task");
+    h.promise().ownerLoop = this;
+    ++activeTasks_;
+    postAt(now_, h);
+}
+
+void
+EventLoop::rootTaskDone(std::coroutine_handle<> h)
+{
+    --activeTasks_;
+    // The coroutine is suspended at final_suspend; defer destruction
+    // to after the resume() call that got us here returns.
+    finished_.push_back(h);
+}
+
+void
+EventLoop::reclaimFinished()
+{
+    for (auto h : finished_)
+        h.destroy();
+    finished_.clear();
+}
+
+void
+EventLoop::dispatchOne()
+{
+    Event ev = std::move(const_cast<Event &>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++dispatched_;
+    ev.fn();
+}
+
+void
+EventLoop::run()
+{
+    stopped_ = false;
+    while (!queue_.empty() && !stopped_)
+        dispatchOne();
+    reclaimFinished();
+}
+
+void
+EventLoop::runUntil(SimTime t)
+{
+    stopped_ = false;
+    while (!queue_.empty() && !stopped_ && queue_.top().time <= t)
+        dispatchOne();
+    reclaimFinished();
+    if (!stopped_ && now_ < t)
+        now_ = t;
+}
+
+} // namespace dbsens

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single-threaded priority-queue event loop over simulated
+ * nanoseconds. All cross-session resumptions are posted through the
+ * queue (never resumed inline), which keeps stack depth bounded and
+ * event ordering deterministic (FIFO among same-time events).
+ */
+
+#ifndef DBSENS_SIM_EVENT_LOOP_H
+#define DBSENS_SIM_EVENT_LOOP_H
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/sim_time.h"
+#include "sim/task.h"
+
+namespace dbsens {
+
+/**
+ * The simulation kernel. Owns the event queue, the simulated clock,
+ * and the frames of detached (spawned) root tasks.
+ */
+class EventLoop
+{
+  public:
+    EventLoop() = default;
+    ~EventLoop();
+
+    EventLoop(const EventLoop &) = delete;
+    EventLoop &operator=(const EventLoop &) = delete;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /** Schedule a callback at an absolute simulated time (>= now). */
+    void at(SimTime t, std::function<void()> fn);
+
+    /** Schedule a callback after a delay. */
+    void after(SimDuration d, std::function<void()> fn) { at(now_ + d, std::move(fn)); }
+
+    /** Post a coroutine resumption at the current time (FIFO). */
+    void post(std::coroutine_handle<> h);
+
+    /** Post a coroutine resumption at an absolute time. */
+    void postAt(SimTime t, std::coroutine_handle<> h);
+
+    /**
+     * Detach a root task into the loop: the loop resumes it now and
+     * reclaims its frame when it completes.
+     */
+    void spawn(Task<void> task);
+
+    /** Number of spawned root tasks that have not yet completed. */
+    int activeTasks() const { return activeTasks_; }
+
+    /** Run until the event queue is empty. */
+    void run();
+
+    /**
+     * Run until the given absolute time (events at exactly `t` run).
+     * The clock is advanced to `t` even if the queue drains earlier.
+     */
+    void runUntil(SimTime t);
+
+    /** True once stop() has been called. */
+    bool stopped() const { return stopped_; }
+
+    /**
+     * Stop processing: run() / runUntil() return after the current
+     * event. Used to end throughput experiments at a time limit.
+     */
+    void stop() { stopped_ = true; }
+
+    /** Total events dispatched (for determinism tests). */
+    uint64_t eventsDispatched() const { return dispatched_; }
+
+    // Internal: called from TaskPromiseBase when a detached root task
+    // reaches final suspension.
+    void rootTaskDone(std::coroutine_handle<> h);
+
+  private:
+    struct Event
+    {
+        SimTime time;
+        uint64_t seq;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return time != o.time ? time > o.time : seq > o.seq;
+        }
+    };
+
+    void dispatchOne();
+    void reclaimFinished();
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    std::vector<std::coroutine_handle<>> finished_;
+    SimTime now_ = 0;
+    uint64_t seq_ = 0;
+    uint64_t dispatched_ = 0;
+    int activeTasks_ = 0;
+    bool stopped_ = false;
+};
+
+/** Awaitable: suspend the current coroutine for a simulated duration. */
+class SimDelay
+{
+  public:
+    SimDelay(EventLoop &loop, SimDuration d) : loop(loop), delay(d) {}
+
+    bool await_ready() const noexcept { return delay <= 0; }
+
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        loop.postAt(loop.now() + delay, h);
+    }
+
+    void await_resume() const noexcept {}
+
+  private:
+    EventLoop &loop;
+    SimDuration delay;
+};
+
+} // namespace dbsens
+
+#endif // DBSENS_SIM_EVENT_LOOP_H

@@ -1,0 +1,34 @@
+#include "sim/ssd_model.h"
+
+namespace dbsens {
+
+SimDuration
+SsdModel::reserve(SimTime &channel_free, double bw, uint64_t bytes)
+{
+    const SimTime start = std::max(loop_.now(), channel_free);
+    const auto xfer = SimDuration(double(bytes) / bw * 1e9);
+    channel_free = start + xfer;
+    const SimTime done =
+        channel_free + SimDuration(calib::kSsdBaseLatencyNs);
+    return done - loop_.now();
+}
+
+Task<void>
+SsdModel::read(uint64_t bytes)
+{
+    bytesRead_ += bytes;
+    ++readOps_;
+    const SimDuration wait = reserve(readFree_, effectiveReadBw(), bytes);
+    co_await SimDelay(loop_, wait);
+}
+
+Task<void>
+SsdModel::write(uint64_t bytes)
+{
+    bytesWritten_ += bytes;
+    ++writeOps_;
+    const SimDuration wait = reserve(writeFree_, effectiveWriteBw(), bytes);
+    co_await SimDelay(loop_, wait);
+}
+
+} // namespace dbsens

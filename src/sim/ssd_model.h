@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Non-volatile storage model: an NVMe SSD with separate sequential
+ * read and write bandwidth channels, a base device latency, and
+ * cgroup-style configurable bandwidth limits
+ * (BlockIOReadBandwidth/BlockIOWriteBandwidth in the paper).
+ *
+ * Each direction is a token-bucket/virtual-clock channel: a request of
+ * B bytes occupies the channel for B / effective_bandwidth, requests
+ * queue FIFO, and completion additionally incurs the base latency.
+ * Throttling the limit therefore lengthens queues and I/O waits, which
+ * is the first-order effect the paper measures (Figures 4, 5).
+ */
+
+#ifndef DBSENS_SIM_SSD_MODEL_H
+#define DBSENS_SIM_SSD_MODEL_H
+
+#include <cstdint>
+
+#include "core/calibration.h"
+#include "core/sim_time.h"
+#include "sim/event_loop.h"
+#include "sim/task.h"
+
+namespace dbsens {
+
+/** SSD bandwidth/latency model with cgroup-style limits. */
+class SsdModel
+{
+  public:
+    explicit SsdModel(EventLoop &loop) : loop_(loop) {}
+
+    /** Set a read-bandwidth limit in bytes/sec (0 = device limit). */
+    void setReadLimit(double bytes_per_sec) { readLimit_ = bytes_per_sec; }
+
+    /** Set a write-bandwidth limit in bytes/sec (0 = device limit). */
+    void setWriteLimit(double bytes_per_sec) { writeLimit_ = bytes_per_sec; }
+
+    double
+    effectiveReadBw() const
+    {
+        return readLimit_ > 0 && readLimit_ < calib::kSsdReadBw
+                   ? readLimit_ : calib::kSsdReadBw;
+    }
+
+    double
+    effectiveWriteBw() const
+    {
+        return writeLimit_ > 0 && writeLimit_ < calib::kSsdWriteBw
+                   ? writeLimit_ : calib::kSsdWriteBw;
+    }
+
+    /** Issue a read of `bytes`; completes when the device finishes. */
+    Task<void> read(uint64_t bytes);
+
+    /** Issue a write of `bytes`. */
+    Task<void> write(uint64_t bytes);
+
+    /** Cumulative bytes read/written (for bandwidth sampling). */
+    uint64_t bytesRead() const { return bytesRead_; }
+    uint64_t bytesWritten() const { return bytesWritten_; }
+    uint64_t readOps() const { return readOps_; }
+    uint64_t writeOps() const { return writeOps_; }
+
+  private:
+    SimDuration reserve(SimTime &channel_free, double bw, uint64_t bytes);
+
+    EventLoop &loop_;
+    double readLimit_ = 0;
+    double writeLimit_ = 0;
+    SimTime readFree_ = 0;
+    SimTime writeFree_ = 0;
+    uint64_t bytesRead_ = 0;
+    uint64_t bytesWritten_ = 0;
+    uint64_t readOps_ = 0;
+    uint64_t writeOps_ = 0;
+};
+
+} // namespace dbsens
+
+#endif // DBSENS_SIM_SSD_MODEL_H

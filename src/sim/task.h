@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Coroutine task type for simulator sessions.
+ *
+ * Workload sessions (transactions, query streams) are written as C++20
+ * coroutines that `co_await` simulator primitives: CPU bursts, SSD
+ * I/O, lock grants, and delays. The event loop resumes them in
+ * simulated-time order, giving genuine interleaving (and thus genuine
+ * lock contention) on a single host thread.
+ *
+ * `Task<T>` is lazily started. Awaiting a task runs it to completion
+ * and yields its value; root tasks are handed to EventLoop::spawn()
+ * which owns their lifetime.
+ */
+
+#ifndef DBSENS_SIM_TASK_H
+#define DBSENS_SIM_TASK_H
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace dbsens {
+
+template <typename T = void>
+class Task;
+
+class EventLoop;
+
+namespace detail {
+
+class TaskPromiseBase
+{
+  public:
+    /** Coroutine to resume when this task finishes (the awaiter). */
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+    /** Set by EventLoop::spawn for detached root tasks. */
+    EventLoop *ownerLoop = nullptr;
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter
+    {
+        bool await_ready() noexcept { return false; }
+
+        template <typename Promise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) noexcept
+        {
+            auto &p = h.promise();
+            if (p.continuation)
+                return p.continuation;
+            // Detached root task: nobody awaits it; the loop reclaims
+            // the frame (declared in event_loop.h to avoid a cycle).
+            p.notifyRootDone(h);
+            return std::noop_coroutine();
+        }
+
+        void await_resume() noexcept {}
+    };
+
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void unhandled_exception() { exception = std::current_exception(); }
+
+  protected:
+    void notifyRootDone(std::coroutine_handle<> h) noexcept;
+};
+
+template <typename T>
+class TaskPromise : public TaskPromiseBase
+{
+  public:
+    Task<T> get_return_object();
+
+    template <typename U>
+    void return_value(U &&v) { value = std::forward<U>(v); }
+
+    T value{};
+};
+
+template <>
+class TaskPromise<void> : public TaskPromiseBase
+{
+  public:
+    Task<void> get_return_object();
+    void return_void() {}
+};
+
+} // namespace detail
+
+/**
+ * Lazily-started coroutine task. Move-only; owns its coroutine frame
+ * unless detached into an EventLoop.
+ */
+template <typename T>
+class Task
+{
+  public:
+    using promise_type = detail::TaskPromise<T>;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(Handle h) : handle_(h) {}
+
+    Task(Task &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {
+    }
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return handle_ != nullptr; }
+    bool done() const { return handle_ && handle_.done(); }
+
+    /** Release ownership (used by EventLoop::spawn). */
+    Handle
+    release()
+    {
+        return std::exchange(handle_, nullptr);
+    }
+
+    // Awaitable interface: awaiting a task starts it; when it reaches
+    // final_suspend, control transfers back to the awaiter.
+    bool await_ready() const noexcept { return !handle_ || handle_.done(); }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> cont) noexcept
+    {
+        handle_.promise().continuation = cont;
+        return handle_; // symmetric transfer: start the child now
+    }
+
+    T
+    await_resume()
+    {
+        auto &p = handle_.promise();
+        if (p.exception)
+            std::rethrow_exception(p.exception);
+        if constexpr (!std::is_void_v<T>)
+            return std::move(p.value);
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    Handle handle_ = nullptr;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T>
+TaskPromise<T>::get_return_object()
+{
+    return Task<T>(
+        std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void>
+TaskPromise<void>::get_return_object()
+{
+    return Task<void>(
+        std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+} // namespace detail
+
+} // namespace dbsens
+
+#endif // DBSENS_SIM_TASK_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * WaitGroup: await completion of N concurrently spawned subtasks.
+ */
+
+#ifndef DBSENS_SIM_WAIT_GROUP_H
+#define DBSENS_SIM_WAIT_GROUP_H
+
+#include <coroutine>
+
+#include "core/logging.h"
+#include "sim/event_loop.h"
+
+namespace dbsens {
+
+/** Counter-based join point for spawned subtasks. */
+class WaitGroup
+{
+  public:
+    explicit WaitGroup(EventLoop &loop) : loop_(loop) {}
+
+    /** Register one more pending task. */
+    void add(int n = 1) { pending_ += n; }
+
+    /** Mark one task done; resumes the waiter when all finish. */
+    void
+    done()
+    {
+        if (--pending_ < 0)
+            panic("WaitGroup::done underflow");
+        if (pending_ == 0 && waiter_) {
+            auto h = waiter_;
+            waiter_ = nullptr;
+            loop_.post(h);
+        }
+    }
+
+    /** Awaitable: suspends until the count reaches zero. */
+    auto
+    wait()
+    {
+        struct Awaiter
+        {
+            WaitGroup &wg;
+            bool await_ready() const { return wg.pending_ == 0; }
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                if (wg.waiter_)
+                    panic("WaitGroup supports a single waiter");
+                wg.waiter_ = h;
+            }
+            void await_resume() const {}
+        };
+        return Awaiter{*this};
+    }
+
+    int pending() const { return pending_; }
+
+  private:
+    EventLoop &loop_;
+    int pending_ = 0;
+    std::coroutine_handle<> waiter_ = nullptr;
+};
+
+} // namespace dbsens
+
+#endif // DBSENS_SIM_WAIT_GROUP_H

@@ -1,0 +1,73 @@
+#include "storage/column_data.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace dbsens {
+
+uint64_t
+ColumnData::distinctEstimate() const
+{
+    if (type_ == TypeId::String)
+        return dict_.size();
+    if (type_ == TypeId::Double) {
+        // Doubles in TPC data are prices/rates; sample.
+        std::unordered_set<int64_t> seen;
+        const size_t n = dbl_.size();
+        const size_t step = std::max<size_t>(1, n / 10000);
+        for (size_t i = 0; i < n; i += step)
+            seen.insert(int64_t(dbl_[i] * 100));
+        return seen.size() * step;
+    }
+    std::unordered_set<int64_t> seen;
+    const size_t n = i64_.size();
+    const size_t step = std::max<size_t>(1, n / 10000);
+    for (size_t i = 0; i < n; i += step)
+        seen.insert(i64_[i]);
+    // Scale sampled distincts; clamp to row count.
+    return std::min<uint64_t>(n, seen.size() * step);
+}
+
+namespace {
+
+/**
+ * Rowgroup headers, segment-local dictionaries, and imperfect bit
+ * packing keep real columnstores ~2x above the information-theoretic
+ * bound; calibrated against Table 2 (TPC-H 100 -> ~42 GB).
+ */
+constexpr double kCompressionSlack = 2.0;
+
+} // namespace
+
+uint64_t
+ColumnData::compressedBytes() const
+{
+    const size_t n = size();
+    if (n == 0)
+        return 0;
+    switch (type_) {
+      case TypeId::String: {
+        // Dictionary codes: bit-packed to ceil(log2(dict size)) bits.
+        const size_t card = std::max<size_t>(2, dict_.size());
+        const double bits = std::ceil(std::log2(double(card)));
+        return uint64_t(double(n) * bits / 8.0 * kCompressionSlack) +
+               dict_.bytes();
+      }
+      case TypeId::Int64: {
+        // Frame-of-reference: bits to cover the value range.
+        auto [lo, hi] = std::minmax_element(i64_.begin(), i64_.end());
+        const double range = double(*hi) - double(*lo) + 1.0;
+        const double bits = std::max(1.0, std::ceil(std::log2(range)));
+        return uint64_t(double(n) * std::min(bits, 64.0) / 8.0 *
+                        kCompressionSlack) +
+               16;
+      }
+      case TypeId::Double:
+        // Prices compress poorly; assume 50% via delta encoding.
+        return uint64_t(double(n) * 4.0 * kCompressionSlack) + 16;
+    }
+    return n * 8;
+}
+
+} // namespace dbsens

@@ -1,0 +1,40 @@
+#include "storage/column_store.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace dbsens {
+
+ColumnStore::ColumnStore(TableData &data, PageAllocator page_alloc,
+                         VirtualSpace &space)
+    : data_(data), pageAlloc_(std::move(page_alloc)), space_(space)
+{
+}
+
+void
+ColumnStore::build()
+{
+    if (built_)
+        panic("ColumnStore::build called twice");
+    const uint64_t rows = data_.rowCount();
+    groups_ = std::max<uint64_t>(1, (rows + kRowGroupRows - 1) /
+                                        kRowGroupRows);
+    const size_t ncols = data_.schema().columnCount();
+    segments_.resize(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+        auto &seg = segments_[c];
+        const uint64_t col_bytes =
+            std::max<uint64_t>(data_.column(ColumnId(c)).compressedBytes(),
+                               64);
+        seg.bytesPerGroup = std::max<uint64_t>(col_bytes / groups_, 64);
+        seg.region = space_.allocateScaled(col_bytes);
+        seg.pages.reserve(size_t(groups_));
+        for (uint64_t g = 0; g < groups_; ++g)
+            seg.pages.push_back(pageAlloc_(seg.bytesPerGroup));
+        totalBytes_ += seg.bytesPerGroup * groups_;
+    }
+    built_ = true;
+}
+
+} // namespace dbsens

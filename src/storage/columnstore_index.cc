@@ -1,0 +1,56 @@
+#include "storage/columnstore_index.h"
+
+namespace dbsens {
+
+ColumnstoreIndex::ColumnstoreIndex(TableData &data,
+                                   PageAllocator page_alloc,
+                                   VirtualSpace &space)
+    : data_(data), compressed_(data, page_alloc, space),
+      pageAlloc_(page_alloc)
+{
+}
+
+void
+ColumnstoreIndex::build()
+{
+    compressed_.build();
+    compressedUpTo_ = data_.rowCount();
+    compressedBytes_ = compressed_.totalBytes();
+    deltaPage_ = pageAlloc_(kPageSize); // empty delta store
+}
+
+void
+ColumnstoreIndex::onInsert(RowId r)
+{
+    if (r >= compressedUpTo_)
+        ++deltaRows_;
+}
+
+uint64_t
+ColumnstoreIndex::deltaBytes() const
+{
+    return deltaRows_ * data_.schema().rowWidth() + kPageSize;
+}
+
+uint64_t
+ColumnstoreIndex::tupleMove()
+{
+    if (deltaRows_ < kDeltaCompressThreshold)
+        return 0;
+    // Compress the delta at the same bytes/row ratio as the initial
+    // build.
+    const double bytes_per_row =
+        compressedUpTo_ > 0
+            ? double(compressed_.totalBytes()) / double(compressedUpTo_)
+            : 8.0;
+    const auto new_bytes = uint64_t(bytes_per_row * double(deltaRows_));
+    compressedBytes_ += new_bytes;
+    compressedUpTo_ += deltaRows_;
+    deltaRows_ = 0;
+    ++movedGroups_;
+    // New compressed segments become one buffer object.
+    pageAlloc_(new_bytes ? new_bytes : 64);
+    return new_bytes;
+}
+
+} // namespace dbsens

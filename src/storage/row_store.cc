@@ -1,0 +1,45 @@
+#include "storage/row_store.h"
+
+#include <algorithm>
+
+namespace dbsens {
+
+RowStore::RowStore(TableData &data, PageAllocator page_alloc,
+                   VirtualSpace &space, uint64_t expected_rows)
+    : data_(data), pageAlloc_(std::move(page_alloc)),
+      expectedRows_(std::max<uint64_t>(expected_rows, 1))
+{
+    const uint32_t width = std::max<uint32_t>(data.schema().rowWidth(), 8);
+    // Slotted page: 96 B header + 2 B slot entry per row.
+    rowsPerPage_ = std::max<uint32_t>(1, (kPageSize - 96) / (width + 2));
+    region_ = space.allocateScaled(expectedRows_ * width);
+    mapExistingRows();
+}
+
+void
+RowStore::ensurePageFor(RowId r)
+{
+    const auto need = size_t(r / rowsPerPage_) + 1;
+    while (pages_.size() < need)
+        pages_.push_back(pageAlloc_(kPageSize));
+}
+
+void
+RowStore::mapExistingRows()
+{
+    if (data_.rowCount() > 0)
+        ensurePageFor(data_.rowCount() - 1);
+}
+
+RowId
+RowStore::appendRow(const std::vector<Value> &row, bool *new_page)
+{
+    const RowId r = data_.append(row);
+    const size_t before = pages_.size();
+    ensurePageFor(r);
+    if (new_page)
+        *new_page = pages_.size() != before;
+    return r;
+}
+
+} // namespace dbsens

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Row-store layout: maps a TableData's rows onto 8 KB slotted pages
+ * (fixed rows-per-page from the schema row width). Provides the
+ * buffer-pool page of a row and its full-scale cache address. Used by
+ * OLTP tables (paper Table 1: OLTP = row store + B-tree indexes).
+ */
+
+#ifndef DBSENS_STORAGE_ROW_STORE_H
+#define DBSENS_STORAGE_ROW_STORE_H
+
+#include <vector>
+
+#include "core/calibration.h"
+#include "hw/virtual_space.h"
+#include "storage/btree.h"
+#include "storage/table_data.h"
+
+namespace dbsens {
+
+/** Page/cache geometry for a row-oriented table. */
+class RowStore
+{
+  public:
+    /**
+     * @param data the functional rows (may already contain rows).
+     * @param page_alloc registers pages with the buffer pool.
+     * @param space virtual space for the cache region.
+     * @param expected_rows capacity used to size the cache region
+     *        (growing tables pass their expected final size).
+     */
+    RowStore(TableData &data, PageAllocator page_alloc,
+             VirtualSpace &space, uint64_t expected_rows);
+
+    TableData &data() { return data_; }
+    const TableData &data() const { return data_; }
+
+    /** Rows stored per 8 KB page. */
+    uint32_t rowsPerPage() const { return rowsPerPage_; }
+
+    /** Buffer-pool page holding a row. */
+    PageId
+    pageOfRow(RowId r) const
+    {
+        return pages_[size_t(r / rowsPerPage_)];
+    }
+
+    /** Full-scale cache address of a row. */
+    uint64_t
+    cacheAddrOfRow(RowId r) const
+    {
+        return region_.elementAddr(r, expectedRows_);
+    }
+
+    /**
+     * Append a row, creating a new page when the last one fills.
+     * Returns the RowId; `new_page` is set when a page was allocated.
+     */
+    RowId appendRow(const std::vector<Value> &row, bool *new_page = nullptr);
+
+    /** Called after bulk load to map pre-existing rows to pages. */
+    void mapExistingRows();
+
+    /** Total heap pages. */
+    uint64_t pageCount() const { return pages_.size(); }
+
+    /** Real data bytes (heap pages). */
+    uint64_t dataBytes() const { return pages_.size() * kPageSize; }
+
+    const VirtualRegion &region() const { return region_; }
+
+  private:
+    void ensurePageFor(RowId r);
+
+    TableData &data_;
+    PageAllocator pageAlloc_;
+    VirtualRegion region_;
+    uint64_t expectedRows_;
+    uint32_t rowsPerPage_;
+    std::vector<PageId> pages_;
+};
+
+} // namespace dbsens
+
+#endif // DBSENS_STORAGE_ROW_STORE_H

@@ -1,0 +1,44 @@
+#include "storage/table_data.h"
+
+#include "core/logging.h"
+
+namespace dbsens {
+
+TableData::TableData(Schema schema) : schema_(std::move(schema))
+{
+    cols_.reserve(schema_.columnCount());
+    for (const auto &c : schema_.columns())
+        cols_.push_back(std::make_unique<ColumnData>(c.type));
+}
+
+RowId
+TableData::append(const std::vector<Value> &row)
+{
+    if (row.size() != cols_.size())
+        panic("row arity mismatch on append");
+    for (size_t i = 0; i < row.size(); ++i)
+        cols_[i]->append(row[i]);
+    deleted_.push_back(false);
+    return rowCount_++;
+}
+
+void
+TableData::markDeleted(RowId r)
+{
+    if (!deleted_[r]) {
+        deleted_[r] = true;
+        ++deletedCount_;
+    }
+}
+
+std::vector<Value>
+TableData::getRow(RowId r) const
+{
+    std::vector<Value> row;
+    row.reserve(cols_.size());
+    for (const auto &c : cols_)
+        row.push_back(c->get(r));
+    return row;
+}
+
+} // namespace dbsens

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * TableData: the functional contents of one table — a set of typed
+ * columns sharing a row count, plus a validity (non-deleted) bitmap.
+ * Storage layouts (row_store.h, column_store.h) wrap TableData with
+ * geometry: page mapping, compressed sizes, and full-scale virtual
+ * regions for cache modelling.
+ */
+
+#ifndef DBSENS_STORAGE_TABLE_DATA_H
+#define DBSENS_STORAGE_TABLE_DATA_H
+
+#include <memory>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/column_data.h"
+
+namespace dbsens {
+
+/** Functional rows of a table, stored columnar. */
+class TableData
+{
+  public:
+    explicit TableData(Schema schema);
+
+    const Schema &schema() const { return schema_; }
+
+    /** Rows ever inserted (including deleted ones). */
+    RowId rowCount() const { return rowCount_; }
+
+    /** Rows currently live. */
+    uint64_t liveRows() const { return rowCount_ - deletedCount_; }
+
+    /** Append a full row; returns its RowId. */
+    RowId append(const std::vector<Value> &row);
+
+    bool isDeleted(RowId r) const { return deleted_[r]; }
+    void markDeleted(RowId r);
+
+    ColumnData &column(ColumnId c) { return *cols_[c]; }
+    const ColumnData &column(ColumnId c) const { return *cols_[c]; }
+
+    ColumnData &column(const std::string &name)
+    {
+        return *cols_[schema_.indexOf(name)];
+    }
+    const ColumnData &column(const std::string &name) const
+    {
+        return *cols_[schema_.indexOf(name)];
+    }
+
+    /** Assemble a row (for point lookups / debugging). */
+    std::vector<Value> getRow(RowId r) const;
+
+  private:
+    Schema schema_;
+    std::vector<std::unique_ptr<ColumnData>> cols_;
+    std::vector<bool> deleted_;
+    RowId rowCount_ = 0;
+    uint64_t deletedCount_ = 0;
+};
+
+} // namespace dbsens
+
+#endif // DBSENS_STORAGE_TABLE_DATA_H

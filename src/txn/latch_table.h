@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Hashed page-latch table: short-duration FIFO latches protecting
+ * buffer pages (PAGELATCH). Inserts into a growing table's tail page
+ * all hash to the same latch, reproducing the classic hot-page
+ * contention of OLTP insert workloads.
+ */
+
+#ifndef DBSENS_TXN_LATCH_TABLE_H
+#define DBSENS_TXN_LATCH_TABLE_H
+
+#include <vector>
+
+#include "core/types.h"
+#include "txn/sim_mutex.h"
+
+namespace dbsens {
+
+/** Fixed-size hashed latch table. */
+class LatchTable
+{
+  public:
+    explicit LatchTable(size_t buckets = 4096) : latches_(buckets) {}
+
+    SimMutex &
+    latchFor(PageId page)
+    {
+        return latches_[size_t(page * 0x9e3779b97f4a7c15ULL %
+                               latches_.size())];
+    }
+
+  private:
+    std::vector<SimMutex> latches_;
+};
+
+} // namespace dbsens
+
+#endif // DBSENS_TXN_LATCH_TABLE_H

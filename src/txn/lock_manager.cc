@@ -1,0 +1,211 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace dbsens {
+
+const char *
+lockModeName(LockMode m)
+{
+    switch (m) {
+      case LockMode::IS: return "IS";
+      case LockMode::IX: return "IX";
+      case LockMode::S: return "S";
+      case LockMode::U: return "U";
+      case LockMode::X: return "X";
+    }
+    return "?";
+}
+
+bool
+lockCompatible(LockMode held, LockMode req)
+{
+    // Rows: held mode, columns: requested mode. Standard matrix.
+    static const bool kCompat[5][5] = {
+        //            IS     IX     S      U      X
+        /* IS */ {true, true, true, true, false},
+        /* IX */ {true, true, false, false, false},
+        /* S  */ {true, false, true, true, false},
+        /* U  */ {true, false, true, false, false},
+        /* X  */ {false, false, false, false, false},
+    };
+    return kCompat[size_t(held)][size_t(req)];
+}
+
+namespace {
+
+/** Awaitable parking a session until grant or timeout resumes it. */
+struct WaiterPark
+{
+    LockManager::Waiter *entry;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { entry->handle = h; }
+    void await_resume() const noexcept {}
+};
+
+} // namespace
+
+bool
+LockManager::compatibleWithHolders(const Queue &q, TxnId txn,
+                                   LockMode mode) const
+{
+    for (const auto &h : q.holders) {
+        if (h.txn == txn)
+            continue;
+        if (!lockCompatible(h.mode, mode))
+            return false;
+    }
+    return true;
+}
+
+Task<bool>
+LockManager::acquire(TxnId txn, TableId table, RowId row, LockMode mode,
+                     WaitStats *stats)
+{
+    const uint64_t key = keyOf(table, row);
+    Queue &q = queues_[key];
+
+    // Re-entrant / upgrade fast path.
+    bool already_holds = false;
+    for (auto &h : q.holders) {
+        if (h.txn != txn)
+            continue;
+        already_holds = true;
+        if (size_t(h.mode) >= size_t(mode))
+            co_return true; // equal or stronger mode already held
+        if (compatibleWithHolders(q, txn, mode)) {
+            h.mode = mode;
+            ++grants_;
+            co_return true;
+        }
+        break;
+    }
+
+    // Fresh grant: compatible with holders and nobody queued ahead
+    // (no barging past earlier waiters).
+    if (!already_holds && q.waiters.empty() &&
+        compatibleWithHolders(q, txn, mode)) {
+        q.holders.push_back({txn, mode});
+        held_[txn].push_back(key);
+        ++grants_;
+        co_return true;
+    }
+
+    // Must wait. Upgrades jump to the queue front so shared holders
+    // can drain past a pending U->X conversion without new grants
+    // starving it.
+    const uint64_t waiter_id = ++nextWaiterId_;
+    auto *entry = new Waiter{txn, mode, waiter_id, {}, false, false};
+    if (already_holds)
+        q.waiters.push_front(entry);
+    else
+        q.waiters.push_back(entry);
+
+    const SimTime start = loop_.now();
+
+    // Timeout-based deadlock resolution: if the entry is still queued
+    // when the timer fires, pull it out and resume with failure. The
+    // waiter is identified by its unique id (never by pointer: a
+    // granted-and-freed entry's address could be reused by a later
+    // waiter on the same key).
+    loop_.after(kLockTimeout, [this, key, waiter_id] {
+        auto qit = queues_.find(key);
+        if (qit == queues_.end())
+            return;
+        auto &waiters = qit->second.waiters;
+        auto it = std::find_if(waiters.begin(), waiters.end(),
+                               [waiter_id](const Waiter *w) {
+                                   return w->id == waiter_id;
+                               });
+        if (it == waiters.end())
+            return; // granted already
+        (*it)->timedOut = true;
+        auto handle = (*it)->handle;
+        waiters.erase(it);
+        loop_.post(handle);
+    });
+
+    co_await WaiterPark{entry};
+
+    if (stats)
+        stats->add(WaitClass::Lock, loop_.now() - start);
+
+    const bool timed_out = entry->timedOut;
+    const bool granted = entry->granted;
+    delete entry;
+    if (timed_out) {
+        ++timeouts_;
+        co_return false;
+    }
+    if (!granted)
+        panic("lock waiter resumed without grant or timeout");
+    co_return true;
+}
+
+void
+LockManager::pump(uint64_t key, Queue &q)
+{
+    while (!q.waiters.empty()) {
+        Waiter *w = q.waiters.front();
+        if (!compatibleWithHolders(q, w->txn, w->mode))
+            break;
+        q.waiters.pop_front();
+        Holder *own = nullptr;
+        for (auto &h : q.holders)
+            if (h.txn == w->txn)
+                own = &h;
+        if (own) {
+            if (size_t(own->mode) < size_t(w->mode))
+                own->mode = w->mode;
+        } else {
+            q.holders.push_back({w->txn, w->mode});
+            held_[w->txn].push_back(key);
+        }
+        ++grants_;
+        w->granted = true;
+        loop_.post(w->handle);
+    }
+}
+
+void
+LockManager::releaseAll(TxnId txn)
+{
+    auto it = held_.find(txn);
+    if (it == held_.end())
+        return;
+    // Take the key list by value: pump() may grant to other txns but
+    // never mutates this txn's list; still, keep iteration safe.
+    const std::vector<uint64_t> keys = std::move(it->second);
+    held_.erase(it);
+    for (uint64_t key : keys) {
+        auto qit = queues_.find(key);
+        if (qit == queues_.end())
+            continue;
+        auto &q = qit->second;
+        q.holders.erase(std::remove_if(q.holders.begin(), q.holders.end(),
+                                       [txn](const Holder &h) {
+                                           return h.txn == txn;
+                                       }),
+                        q.holders.end());
+        pump(key, q);
+        if (q.holders.empty() && q.waiters.empty())
+            queues_.erase(qit);
+    }
+}
+
+size_t
+LockManager::heldCount(TxnId txn) const
+{
+    auto it = held_.find(txn);
+    if (it == held_.end())
+        return 0;
+    std::vector<uint64_t> keys(it->second);
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    return keys.size();
+}
+
+} // namespace dbsens

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Wait-time accounting by wait class, mirroring the SQL Server wait
+ * types the paper reports in Table 3: LOCK, LATCH, PAGELATCH (buffer
+ * latch, non-I/O), PAGEIOLATCH (buffer latch during I/O), plus
+ * WRITELOG (commit waiting for the log flush).
+ */
+
+#ifndef DBSENS_TXN_WAIT_STATS_H
+#define DBSENS_TXN_WAIT_STATS_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/sim_time.h"
+
+namespace dbsens {
+
+/** Wait classes tracked per run. */
+enum class WaitClass : uint8_t {
+    Lock,        ///< row/table lock waits (LOCK_M_*)
+    Latch,       ///< non-buffer latches (index structure latches)
+    PageLatch,   ///< buffer page latch, page already in memory
+    PageIoLatch, ///< buffer page latch while the page is read from SSD
+    WriteLog,    ///< commit waiting for WAL flush
+    kCount,
+};
+
+/** Name used in reports. */
+inline const char *
+waitClassName(WaitClass c)
+{
+    switch (c) {
+      case WaitClass::Lock: return "LOCK";
+      case WaitClass::Latch: return "LATCH";
+      case WaitClass::PageLatch: return "PAGELATCH";
+      case WaitClass::PageIoLatch: return "PAGEIOLATCH";
+      case WaitClass::WriteLog: return "WRITELOG";
+      default: return "?";
+    }
+}
+
+/** Accumulated wait time and counts by class. */
+class WaitStats
+{
+  public:
+    void
+    add(WaitClass c, SimDuration ns)
+    {
+        auto &e = entries_[size_t(c)];
+        e.totalNs += ns;
+        e.count += 1;
+    }
+
+    SimDuration totalNs(WaitClass c) const
+    {
+        return entries_[size_t(c)].totalNs;
+    }
+
+    uint64_t count(WaitClass c) const { return entries_[size_t(c)].count; }
+
+    /** Sum of LOCK + LATCH + PAGELATCH (the paper's Sigma-L row). */
+    SimDuration
+    contentionNs() const
+    {
+        return totalNs(WaitClass::Lock) + totalNs(WaitClass::Latch) +
+               totalNs(WaitClass::PageLatch);
+    }
+
+    void
+    reset()
+    {
+        for (auto &e : entries_)
+            e = {};
+    }
+
+  private:
+    struct Entry
+    {
+        SimDuration totalNs = 0;
+        uint64_t count = 0;
+    };
+
+    std::array<Entry, size_t(WaitClass::kCount)> entries_{};
+};
+
+} // namespace dbsens
+
+#endif // DBSENS_TXN_WAIT_STATS_H

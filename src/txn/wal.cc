@@ -1,0 +1,101 @@
+#include "txn/wal.h"
+
+#include <algorithm>
+
+namespace dbsens {
+
+namespace {
+
+/** Parks the flusher until new commits arrive. */
+struct FlusherPark
+{
+    bool *parked;
+    std::coroutine_handle<> *slot;
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        *parked = true;
+        *slot = h;
+    }
+
+    void await_resume() const noexcept {}
+};
+
+} // namespace
+
+WalWriter::WalWriter(EventLoop &loop, SsdModel &ssd)
+    : loop_(loop), ssd_(ssd)
+{
+    loop_.spawn(flusherLoop());
+}
+
+uint64_t
+WalWriter::append(uint64_t payload_bytes)
+{
+    appendedLsn_ += payload_bytes + kRecordHeader;
+    return appendedLsn_;
+}
+
+Task<void>
+WalWriter::commit(uint64_t lsn, WaitStats *stats)
+{
+    if (lsn <= flushedLsn_)
+        co_return;
+    const SimTime start = loop_.now();
+    // Register as a waiter and kick the flusher if parked.
+    struct Park
+    {
+        WalWriter *wal;
+        uint64_t lsn;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            wal->waiters_.push_back({lsn, h});
+            if (wal->flusherParked_) {
+                wal->flusherParked_ = false;
+                wal->loop_.post(wal->flusherHandle_);
+            }
+        }
+
+        void await_resume() const noexcept {}
+    };
+    co_await Park{this, lsn};
+    if (stats)
+        stats->add(WaitClass::WriteLog, loop_.now() - start);
+}
+
+Task<void>
+WalWriter::flusherLoop()
+{
+    for (;;) {
+        if (appendedLsn_ <= flushedLsn_ && waiters_.empty()) {
+            co_await FlusherPark{&flusherParked_, &flusherHandle_};
+            continue;
+        }
+        if (appendedLsn_ > flushedLsn_) {
+            const uint64_t batch_end = appendedLsn_;
+            const uint64_t bytes =
+                batch_end - flushedLsn_ + kFlushOverhead;
+            co_await ssd_.write(bytes);
+            flushedLsn_ = batch_end;
+            ++flushCount_;
+        }
+        // Release everyone whose LSN is now durable.
+        auto it = std::partition(waiters_.begin(), waiters_.end(),
+                                 [this](const CommitWaiter &w) {
+                                     return w.lsn > flushedLsn_;
+                                 });
+        std::vector<CommitWaiter> ready(it, waiters_.end());
+        waiters_.erase(it, waiters_.end());
+        for (auto &w : ready)
+            loop_.post(w.handle);
+    }
+}
+
+} // namespace dbsens

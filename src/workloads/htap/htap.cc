@@ -1,0 +1,112 @@
+#include "workloads/htap/htap.h"
+
+#include "engine/query_runner.h"
+
+namespace dbsens {
+namespace htap {
+
+PlanPtr
+analyticalQuery(int q)
+{
+    switch (q) {
+      case 0:
+        // Hot securities by traded quantity.
+        return PlanBuilder::scan("trade", {"t_s_id", "t_qty"})
+            .aggregate({"t_s_id"},
+                       {aggSum(col("t_qty"), "total_qty")})
+            .topN({{"total_qty", true}}, 20)
+            .build();
+      case 1:
+        // Traded value by exchange (join with security).
+        return PlanBuilder::scan("trade",
+                                 {"t_s_id", "t_qty", "t_price"})
+            .join(PlanBuilder::scan("security", {"s_id", "s_ex"}),
+                  JoinType::Inner, {"t_s_id"}, {"s_id"})
+            .project({{col("s_ex"), "s_ex"},
+                      {mul(col("t_qty"), col("t_price")), "value"}})
+            .aggregate({"s_ex"}, {aggSum(col("value"), "volume")})
+            .orderBy({{"volume", true}})
+            .build();
+      case 2:
+        // Broker volumes from live trades (join with account).
+        return PlanBuilder::scan("trade",
+                                 {"t_ca_id", "t_qty", "t_price"})
+            .join(PlanBuilder::scan("account", {"ca_id", "ca_b_id"}),
+                  JoinType::Inner, {"t_ca_id"}, {"ca_id"})
+            .project({{col("ca_b_id"), "b_id"},
+                      {mul(col("t_qty"), col("t_price")), "value"}})
+            .aggregate({"b_id"}, {aggSum(col("value"), "volume")})
+            .topN({{"volume", true}}, 10)
+            .build();
+      case 3:
+        // Price statistics by trade type.
+        return PlanBuilder::scan("trade", {"t_type", "t_price",
+                                           "t_qty"})
+            .aggregate({"t_type"},
+                       {aggAvg(col("t_price"), "avg_price"),
+                        aggMax(col("t_price"), "max_price"),
+                        aggCount("n")})
+            .orderBy({{"t_type", false}})
+            .build();
+      default:
+        fatal("HTAP analytical query must be 0..3");
+    }
+}
+
+void
+HtapWorkload::startSessions(SimRun &run, Database &db, uint64_t seed)
+{
+    tpce::TpceWorkload::startSessions(run, db, seed);
+    run.loop.spawn(analyticalSession(run, db));
+    run.loop.spawn(tupleMover(run, db));
+}
+
+Task<void>
+HtapWorkload::analyticalSession(SimRun &run, Database &db)
+{
+    // Own feed over the *shared* LLC: analytics and OLTP contend for
+    // cache space, but the DSS touches must not land in transactions'
+    // miss windows (they are replayed as DSS stall time instead).
+    LiveCacheFeed dss_feed(run.llc);
+    while (run.running()) {
+        for (int q = 0; q < kAnalyticalQueries && run.running(); ++q) {
+            auto plan = analyticalQuery(q);
+            // Functional profiling against the *live* data (delta
+            // included) with the run's cache and buffer pool: the
+            // measured miss rate reflects OLTP/DSS cache interference.
+            const uint64_t a0 = dss_feed.accesses();
+            const uint64_t m0 = dss_feed.misses();
+            OptimizerConfig cfg;
+            cfg.maxdop = std::min(run.config().maxdop,
+                                  run.config().cores);
+            const auto pq =
+                profileQuery(db, *plan, cfg, &run.pool, &dss_feed);
+            const uint64_t da = dss_feed.accesses() - a0;
+            const uint64_t dm = dss_feed.misses() - m0;
+            ReplayParams params;
+            params.dop = pq.parallelPlan ? cfg.maxdop : 1;
+            params.grantBytes = run.queryGrantBytes();
+            params.missRate = da ? double(dm) / double(da) : 0.05;
+            co_await replayQuery(run, pq.profile, params);
+        }
+    }
+}
+
+Task<void>
+HtapWorkload::tupleMover(SimRun &run, Database &db)
+{
+    auto &trade = db.table("trade");
+    while (run.running()) {
+        co_await SimDelay(run.loop, milliseconds(20));
+        if (!trade.ncci)
+            continue;
+        const uint64_t bytes = trade.ncci->tupleMove();
+        if (bytes > 0) {
+            // Compression writes the new rowgroups to storage.
+            co_await run.ssd.write(bytes);
+        }
+    }
+}
+
+} // namespace htap
+} // namespace dbsens

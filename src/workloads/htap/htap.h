@@ -1,0 +1,54 @@
+/**
+ * @file
+ * HTAP workload (paper Section 2.3): the TPC-E transactional mix with
+ * an updateable columnstore index on TRADE, 99 transactional sessions
+ * plus 1 analytical session cycling four scan/join/aggregate queries
+ * over the live trade data. A tuple-mover task periodically folds the
+ * NCCI delta store into compressed rowgroups.
+ */
+
+#ifndef DBSENS_WORKLOADS_HTAP_HTAP_H
+#define DBSENS_WORKLOADS_HTAP_HTAP_H
+
+#include "exec/plan.h"
+#include "workloads/tpce/tpce.h"
+
+namespace dbsens {
+namespace htap {
+
+/** Number of distinct analytical queries cycled by the DSS session. */
+inline constexpr int kAnalyticalQueries = 4;
+
+/** Build analytical query q (0..3) over the TPC-E schema. */
+PlanPtr analyticalQuery(int q);
+
+/** HTAP workload: TPC-E mix + 1 analytical session. */
+class HtapWorkload : public tpce::TpceWorkload
+{
+  public:
+    explicit HtapWorkload(int sf) : tpce::TpceWorkload(sf, 99) {}
+
+    std::string name() const override { return "HTAP"; }
+
+    std::unique_ptr<Database>
+    generate(uint64_t seed) const override
+    {
+        return tpce::generateDb(sf_, seed, /*with_ncci=*/true);
+    }
+
+    int sessionCount() const override { return sessions_ + 1; }
+
+    void startSessions(SimRun &run, Database &db,
+                       uint64_t seed) override;
+
+    /** The analytical component (1 user, 4 queries round-robin). */
+    Task<void> analyticalSession(SimRun &run, Database &db);
+
+    /** Background tuple mover compressing the NCCI delta. */
+    Task<void> tupleMover(SimRun &run, Database &db);
+};
+
+} // namespace htap
+} // namespace dbsens
+
+#endif // DBSENS_WORKLOADS_HTAP_HTAP_H

@@ -1,0 +1,398 @@
+#include "workloads/tpch/tpch_gen.h"
+
+#include "core/random.h"
+
+namespace dbsens {
+namespace tpch {
+
+namespace {
+
+// TPC-H colour words for p_name (includes the Q20 'lemon' prefix).
+const char *kColors[] = {
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque",
+    "black", "blanched", "blue", "blush", "brown", "burlywood",
+    "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim",
+    "dodger", "drab", "firebrick", "floral", "forest", "frosted",
+    "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+    "lemon", "light", "lime", "linen", "magenta", "maroon", "medium",
+    "metallic", "midnight", "mint", "misty", "moccasin", "navajo",
+    "navy", "olive", "orange", "orchid", "pale", "papaya", "peach",
+    "peru", "pink", "plum", "powder", "puff", "purple", "red", "rose",
+    "rosy", "royal", "saddle", "salmon", "sandy", "seashell", "sienna",
+    "sky", "slate", "smoke", "snow", "spring", "steel", "tan", "thistle",
+    "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+};
+constexpr size_t kNumColors = sizeof(kColors) / sizeof(kColors[0]);
+
+const char *kTypeSyl1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE",
+                           "ECONOMY", "PROMO"};
+const char *kTypeSyl2[] = {"ANODIZED", "BURNISHED", "PLATED",
+                           "POLISHED", "BRUSHED"};
+const char *kTypeSyl3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+
+const char *kContainerSyl1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char *kContainerSyl2[] = {"CASE", "BOX", "BAG", "JAR", "PKG",
+                                "PACK", "CAN", "DRUM"};
+
+const char *kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                           "MACHINERY", "HOUSEHOLD"};
+
+const char *kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+
+const char *kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK",
+                            "MAIL", "FOB"};
+
+const char *kShipInstruct[] = {"DELIVER IN PERSON", "COLLECT COD",
+                               "NONE", "TAKE BACK RETURN"};
+
+const char *kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+    "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+};
+// Region of each nation (TPC-H mapping).
+const int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                             4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+const char *kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+
+/**
+ * Comment pool: a fixed set of 2048 phrases (so dictionaries stay
+ * bounded and columns compress like real repeated text), carrying the
+ * spec's '%special%requests%' / '%Customer%Complaints%' fractions.
+ */
+const std::vector<std::string> &
+commentPool()
+{
+    static const std::vector<std::string> pool = [] {
+        static const char *words[] = {
+            "carefully", "quickly", "furiously", "slyly", "blithely",
+            "deposits", "packages", "accounts", "requests",
+            "instructions", "foxes", "pinto", "beans", "theodolites",
+            "platelets", "ideas", "sleep", "nag", "haggle", "wake",
+            "bold", "final", "express", "regular", "silent", "even",
+            "pending", "unusual", "special", "Customer", "Complaints",
+            "across", "above", "against",
+        };
+        constexpr size_t n = sizeof(words) / sizeof(words[0]);
+        Rng rng(0xC0117E);
+        std::vector<std::string> out;
+        out.reserve(2048);
+        for (int i = 0; i < 2048; ++i) {
+            std::string s;
+            const int len = 3 + int(rng.uniform(4));
+            for (int w = 0; w < len; ++w) {
+                if (w)
+                    s += ' ';
+                s += words[rng.uniform(n)];
+            }
+            out.push_back(std::move(s));
+        }
+        return out;
+    }();
+    return pool;
+}
+
+const std::string &
+makeComment(Rng &rng)
+{
+    const auto &pool = commentPool();
+    return pool[rng.uniform(pool.size())];
+}
+
+std::string
+makePhone(Rng &rng, int64_t nationkey)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%02d-%03d-%03d-%04d",
+                  int(nationkey) + 10, int(rng.uniform(900)) + 100,
+                  int(rng.uniform(900)) + 100,
+                  int(rng.uniform(9000)) + 1000);
+    return buf;
+}
+
+} // namespace
+
+TpchScale::TpchScale(int sf_in) : sf(sf_in)
+{
+    // Paper SF x: TPC-H row counts / 1024 (K scaling), i.e. the
+    // standard 600k/150k/... per SF become 586/146/... per SF unit.
+    lineitem = uint64_t(sf) * 6000;
+    orders = uint64_t(sf) * 1500;
+    customer = uint64_t(sf) * 150;
+    part = uint64_t(sf) * 200;
+    supplier = uint64_t(sf) * 10 + 10;
+    partsupp = part * 4;
+}
+
+int64_t
+minOrderDate()
+{
+    return dateToDays(1992, 1, 1);
+}
+
+int64_t
+maxOrderDate()
+{
+    return dateToDays(1998, 8, 2);
+}
+
+std::unique_ptr<Database>
+generate(int sf, uint64_t seed, StorageLayout layout)
+{
+    TpchScale sc(sf);
+    auto db = std::make_unique<Database>("tpch-sf" + std::to_string(sf));
+    Rng rng(seed);
+
+    auto columnTable = [&](const std::string &name, Schema schema,
+                           uint64_t rows,
+                           std::vector<std::string> index_cols = {}) {
+        TableDef def;
+        def.name = name;
+        def.schema = std::move(schema);
+        def.layout = layout;
+        def.expectedRows = rows + 16;
+        def.indexColumns = std::move(index_cols);
+        return &db->createTable(def);
+    };
+
+    // region / nation -------------------------------------------------
+    auto *region = columnTable(
+        "region",
+        Schema({{"r_regionkey", TypeId::Int64},
+                {"r_name", TypeId::String, 12},
+                {"r_comment", TypeId::String, 60}}),
+        sc.region);
+    for (uint64_t r = 0; r < sc.region; ++r)
+        region->data->append(
+            {int64_t(r), kRegions[r], makeComment(rng)});
+
+    auto *nation = columnTable(
+        "nation",
+        Schema({{"n_nationkey", TypeId::Int64},
+                {"n_name", TypeId::String, 16},
+                {"n_regionkey", TypeId::Int64},
+                {"n_comment", TypeId::String, 60}}),
+        sc.nation);
+    for (uint64_t n = 0; n < sc.nation; ++n)
+        nation->data->append({int64_t(n), kNations[n],
+                              int64_t(kNationRegion[n]),
+                              makeComment(rng)});
+
+    // supplier ---------------------------------------------------------
+    auto *supplier = columnTable(
+        "supplier",
+        Schema({{"s_suppkey", TypeId::Int64},
+                {"s_name", TypeId::String, 18},
+                {"s_address", TypeId::String, 24},
+                {"s_nationkey", TypeId::Int64},
+                {"s_phone", TypeId::String, 15},
+                {"s_acctbal", TypeId::Double},
+                {"s_comment", TypeId::String, 60}}),
+        sc.supplier, {"s_suppkey"});
+    for (uint64_t s = 0; s < sc.supplier; ++s) {
+        char name[24];
+        std::snprintf(name, sizeof(name), "Supplier#%09d", int(s));
+        const int64_t nk = int64_t(rng.uniform(25));
+        supplier->data->append({int64_t(s), name, rng.text(12), nk,
+                                makePhone(rng, nk),
+                                double(rng.range(-99999, 999999)) / 100,
+                                makeComment(rng)});
+    }
+
+    // part ---------------------------------------------------------------
+    auto *part = columnTable(
+        "part",
+        Schema({{"p_partkey", TypeId::Int64},
+                {"p_name", TypeId::String, 36},
+                {"p_mfgr", TypeId::String, 14},
+                {"p_brand", TypeId::String, 10},
+                {"p_type", TypeId::String, 25},
+                {"p_size", TypeId::Int64},
+                {"p_container", TypeId::String, 10},
+                {"p_retailprice", TypeId::Double},
+                {"p_comment", TypeId::String, 40}}),
+        sc.part, {"p_partkey"});
+    for (uint64_t p = 0; p < sc.part; ++p) {
+        const std::string pname =
+            std::string(kColors[rng.uniform(kNumColors)]) + " " +
+            kColors[rng.uniform(kNumColors)];
+        char mfgr[16], brand[12];
+        const int m = int(rng.uniform(5)) + 1;
+        std::snprintf(mfgr, sizeof(mfgr), "Manufacturer#%d", m);
+        std::snprintf(brand, sizeof(brand), "Brand#%d%d", m,
+                      int(rng.uniform(5)) + 1);
+        const std::string type = std::string(kTypeSyl1[rng.uniform(6)]) +
+                                 " " + kTypeSyl2[rng.uniform(5)] + " " +
+                                 kTypeSyl3[rng.uniform(5)];
+        const std::string container =
+            std::string(kContainerSyl1[rng.uniform(5)]) + " " +
+            kContainerSyl2[rng.uniform(8)];
+        part->data->append({int64_t(p), pname, mfgr, brand, type,
+                            int64_t(rng.uniform(50)) + 1, container,
+                            900.0 + double(p % 1000) / 10,
+                            makeComment(rng)});
+    }
+
+    // partsupp -----------------------------------------------------------
+    auto *partsupp = columnTable(
+        "partsupp",
+        Schema({{"ps_partkey", TypeId::Int64},
+                {"ps_suppkey", TypeId::Int64},
+                {"ps_availqty", TypeId::Int64},
+                {"ps_supplycost", TypeId::Double},
+                {"ps_comment", TypeId::String, 60}}),
+        sc.partsupp);
+    for (uint64_t p = 0; p < sc.part; ++p) {
+        for (int i = 0; i < 4; ++i) {
+            const int64_t suppkey =
+                int64_t((p + uint64_t(i) * (sc.supplier / 4 + 1)) %
+                        sc.supplier);
+            partsupp->data->append(
+                {int64_t(p), suppkey, int64_t(rng.uniform(9999)) + 1,
+                 double(rng.uniform(100000)) / 100, makeComment(rng)});
+        }
+    }
+
+    // customer -----------------------------------------------------------
+    auto *customer = columnTable(
+        "customer",
+        Schema({{"c_custkey", TypeId::Int64},
+                {"c_name", TypeId::String, 18},
+                {"c_address", TypeId::String, 24},
+                {"c_nationkey", TypeId::Int64},
+                {"c_phone", TypeId::String, 15},
+                {"c_acctbal", TypeId::Double},
+                {"c_mktsegment", TypeId::String, 10},
+                {"c_comment", TypeId::String, 60}}),
+        sc.customer, {"c_custkey"});
+    for (uint64_t c = 0; c < sc.customer; ++c) {
+        char name[24];
+        std::snprintf(name, sizeof(name), "Customer#%09d", int(c));
+        const int64_t nk = int64_t(rng.uniform(25));
+        customer->data->append(
+            {int64_t(c), name, rng.text(12), nk, makePhone(rng, nk),
+             double(rng.range(-99999, 999999)) / 100,
+             kSegments[rng.uniform(5)], makeComment(rng)});
+    }
+
+    // orders + lineitem ----------------------------------------------------
+    auto *orders = columnTable(
+        "orders",
+        Schema({{"o_orderkey", TypeId::Int64},
+                {"o_custkey", TypeId::Int64},
+                {"o_orderstatus", TypeId::String, 1},
+                {"o_totalprice", TypeId::Double},
+                {"o_orderdate", TypeId::Int64},
+                {"o_orderpriority", TypeId::String, 15},
+                {"o_clerk", TypeId::String, 15},
+                {"o_shippriority", TypeId::Int64},
+                {"o_comment", TypeId::String, 60}}),
+        sc.orders);
+    auto *lineitem = columnTable(
+        "lineitem",
+        Schema({{"l_orderkey", TypeId::Int64},
+                {"l_partkey", TypeId::Int64},
+                {"l_suppkey", TypeId::Int64},
+                {"l_linenumber", TypeId::Int64},
+                {"l_quantity", TypeId::Double},
+                {"l_extendedprice", TypeId::Double},
+                {"l_discount", TypeId::Double},
+                {"l_tax", TypeId::Double},
+                {"l_returnflag", TypeId::String, 1},
+                {"l_linestatus", TypeId::String, 1},
+                {"l_shipdate", TypeId::Int64},
+                {"l_commitdate", TypeId::Int64},
+                {"l_receiptdate", TypeId::Int64},
+                {"l_shipinstruct", TypeId::String, 25},
+                {"l_shipmode", TypeId::String, 10},
+                {"l_comment", TypeId::String, 44}}),
+        sc.lineitem);
+
+    // TPC-H leaves a third of customers without orders (dbgen skips
+    // custkeys divisible by 3): Q13's zero-order bucket and Q22's
+    // anti-join depend on it.
+    auto order_custkey = [&]() {
+        int64_t c = int64_t(rng.uniform(sc.customer));
+        if (c % 3 == 0)
+            c = (c + 1) % int64_t(sc.customer);
+        return c;
+    };
+
+    const int64_t date_lo = minOrderDate();
+    const int64_t date_hi = maxOrderDate();
+    const int64_t current = dateToDays(1995, 6, 17); // status cutoff
+    const double lines_per_order =
+        double(sc.lineitem) / double(sc.orders);
+    uint64_t line_budget = sc.lineitem;
+    for (uint64_t o = 0; o < sc.orders; ++o) {
+        const int64_t odate = rng.range(date_lo, date_hi);
+        const int64_t custkey = order_custkey();
+        int nlines = 1 + int(rng.uniform(
+                             uint64_t(2.0 * lines_per_order - 1.0)));
+        if (uint64_t(nlines) > line_budget)
+            nlines = int(line_budget);
+        if (o + 1 == sc.orders)
+            nlines = int(line_budget);
+        double total = 0;
+        bool any_open = false;
+        for (int l = 0; l < nlines; ++l) {
+            const int64_t partkey = int64_t(rng.uniform(sc.part));
+            const int64_t suppkey =
+                int64_t((uint64_t(partkey) +
+                         rng.uniform(4) * (sc.supplier / 4 + 1)) %
+                        sc.supplier);
+            const double qty = double(rng.uniform(50) + 1);
+            const double price =
+                qty * (900.0 + double(partkey % 1000) / 10);
+            const double disc = double(rng.uniform(11)) / 100;
+            const double tax = double(rng.uniform(9)) / 100;
+            const int64_t ship = odate + rng.range(1, 121);
+            const int64_t commit = odate + rng.range(30, 90);
+            const int64_t receipt = ship + rng.range(1, 30);
+            const bool shipped = ship <= current;
+            if (!shipped)
+                any_open = true;
+            lineitem->data->append(
+                {int64_t(o), partkey, suppkey, int64_t(l + 1), qty,
+                 price, disc, tax,
+                 shipped ? (rng.chance(0.5) ? "R" : "A") : "N",
+                 shipped ? "F" : "O", ship, commit, receipt,
+                 kShipInstruct[rng.uniform(4)],
+                 kShipModes[rng.uniform(7)], makeComment(rng)});
+            total += price * (1 + tax) * (1 - disc);
+        }
+        line_budget -= uint64_t(nlines);
+        char clerk[18];
+        std::snprintf(clerk, sizeof(clerk), "Clerk#%09d",
+                      int(rng.uniform(1000)));
+        orders->data->append(
+            {int64_t(o), custkey,
+             nlines == 0 ? "O" : (any_open ? (rng.chance(0.1) ? "P" : "O")
+                                           : "F"),
+             total, odate, kPriorities[rng.uniform(5)], clerk,
+             int64_t(0), makeComment(rng)});
+        if (line_budget == 0 && o + 1 < sc.orders) {
+            // Emit remaining orders with zero lines quickly.
+            for (uint64_t rest = o + 1; rest < sc.orders; ++rest) {
+                orders->data->append(
+                    {int64_t(rest), order_custkey(), "O", 0.0,
+                     rng.range(date_lo, date_hi),
+                     kPriorities[rng.uniform(5)], clerk, int64_t(0),
+                     makeComment(rng)});
+            }
+            break;
+        }
+    }
+
+    db->finishLoad();
+    return db;
+}
+
+} // namespace tpch
+} // namespace dbsens

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Scaled TPC-H database: the 8-table schema in fully columnar layout
+ * (paper Table 1: decision support = column store) plus B-tree
+ * indexes on the primary keys of dimension tables so the optimizer
+ * can choose index nested-loops joins (Figure 7).
+ *
+ * Scale: paper scale factor SF in {10, 30, 100, 300} maps to
+ * lineitem = 6000 * SF rows (1/1024 of TPC-H's 600,000 * SF), with
+ * the standard row-count ratios for the other tables. Value
+ * distributions follow the TPC-H spec closely enough for every
+ * predicate in the 22 queries to have its intended selectivity.
+ */
+
+#ifndef DBSENS_WORKLOADS_TPCH_TPCH_GEN_H
+#define DBSENS_WORKLOADS_TPCH_TPCH_GEN_H
+
+#include <memory>
+
+#include "engine/database.h"
+
+namespace dbsens {
+namespace tpch {
+
+/** Row counts at a paper scale factor. */
+struct TpchScale
+{
+    explicit TpchScale(int sf);
+
+    int sf;
+    uint64_t lineitem;
+    uint64_t orders;
+    uint64_t customer;
+    uint64_t part;
+    uint64_t supplier;
+    uint64_t partsupp;
+    uint64_t nation = 25;
+    uint64_t region = 5;
+};
+
+/**
+ * Generate the TPC-H database at a paper scale factor.
+ *
+ * `layout` defaults to the paper's recommended columnar form (Table
+ * 1); StorageLayout::RowStore builds the same data row-oriented —
+ * exactly the misconfiguration the paper's pitfall #2 warns about
+ * (see bench_pitfalls).
+ */
+std::unique_ptr<Database>
+generate(int sf, uint64_t seed = 19920101,
+         StorageLayout layout = StorageLayout::ColumnStore);
+
+/** Date constants used by generator and queries. */
+int64_t minOrderDate(); ///< 1992-01-01
+int64_t maxOrderDate(); ///< 1998-08-02
+
+} // namespace tpch
+} // namespace dbsens
+
+#endif // DBSENS_WORKLOADS_TPCH_TPCH_GEN_H

@@ -1,0 +1,805 @@
+#include "workloads/tpch/tpch_queries.h"
+
+#include "core/logging.h"
+
+namespace dbsens {
+namespace tpch {
+
+namespace {
+
+int64_t
+days(int y, int m, int d)
+{
+    return dateToDays(y, m, d);
+}
+
+/** revenue = l_extendedprice * (1 - l_discount). */
+ExprPtr
+revenueExpr()
+{
+    return mul(col("l_extendedprice"),
+               sub(lit(1.0), col("l_discount")));
+}
+
+// Q1: pricing summary report.
+PlanPtr
+q1()
+{
+    return PlanBuilder::scan("lineitem",
+                             {"l_returnflag", "l_linestatus",
+                              "l_quantity", "l_extendedprice",
+                              "l_discount", "l_tax", "l_shipdate"})
+        .filter(le(col("l_shipdate"), lit(days(1998, 9, 2))))
+        .project({{col("l_returnflag"), "l_returnflag"},
+                  {col("l_linestatus"), "l_linestatus"},
+                  {col("l_quantity"), "l_quantity"},
+                  {col("l_extendedprice"), "l_extendedprice"},
+                  {col("l_discount"), "l_discount"},
+                  {revenueExpr(), "disc_price"},
+                  {mul(revenueExpr(), add(lit(1.0), col("l_tax"))),
+                   "charge"}})
+        .aggregate({"l_returnflag", "l_linestatus"},
+                   {aggSum(col("l_quantity"), "sum_qty"),
+                    aggSum(col("l_extendedprice"), "sum_base_price"),
+                    aggSum(col("disc_price"), "sum_disc_price"),
+                    aggSum(col("charge"), "sum_charge"),
+                    aggAvg(col("l_quantity"), "avg_qty"),
+                    aggAvg(col("l_extendedprice"), "avg_price"),
+                    aggAvg(col("l_discount"), "avg_disc"),
+                    aggCount("count_order")})
+        .orderBy({{"l_returnflag", false}, {"l_linestatus", false}})
+        .build();
+}
+
+/** Shared Q2 base: partsupp x supplier x nation x region(EUROPE). */
+PlanBuilder
+q2SupplyChain()
+{
+    return PlanBuilder::scan("partsupp", {"ps_partkey", "ps_suppkey",
+                                          "ps_supplycost"})
+        .join(PlanBuilder::scan("supplier",
+                                {"s_suppkey", "s_name", "s_address",
+                                 "s_nationkey", "s_phone", "s_acctbal",
+                                 "s_comment"}),
+              JoinType::Inner, {"ps_suppkey"}, {"s_suppkey"})
+        .join(PlanBuilder::scan("nation", {"n_nationkey", "n_name",
+                                           "n_regionkey"}),
+              JoinType::Inner, {"s_nationkey"}, {"n_nationkey"})
+        .join(PlanBuilder::scan("region", {"r_regionkey", "r_name"})
+                  .filter(eq(col("r_name"), lit("EUROPE"))),
+              JoinType::Inner, {"n_regionkey"}, {"r_regionkey"});
+}
+
+// Q2: minimum cost supplier.
+PlanPtr
+q2()
+{
+    auto mincost =
+        q2SupplyChain()
+            .aggregate({"ps_partkey"},
+                       {aggMin(col("ps_supplycost"), "min_cost")})
+            .project({{col("ps_partkey"), "mc_partkey"},
+                      {col("min_cost"), "min_cost"}});
+
+    return PlanBuilder::scan("part", {"p_partkey", "p_mfgr", "p_size",
+                                      "p_type"})
+        .filter(land(eq(col("p_size"), lit(15)),
+                     like("p_type", "%BRASS")))
+        .join(q2SupplyChain(), JoinType::Inner, {"p_partkey"},
+              {"ps_partkey"})
+        .join(std::move(mincost), JoinType::Inner, {"p_partkey"},
+              {"mc_partkey"})
+        .filter(eq(col("ps_supplycost"), col("min_cost")))
+        .topN({{"s_acctbal", true},
+               {"n_name", false},
+               {"s_name", false},
+               {"p_partkey", false}},
+              100)
+        .build();
+}
+
+// Q3: shipping priority.
+PlanPtr
+q3()
+{
+    const int64_t date = days(1995, 3, 15);
+    auto cust_orders =
+        PlanBuilder::scan("orders", {"o_orderkey", "o_custkey",
+                                     "o_orderdate", "o_shippriority"})
+            .filter(lt(col("o_orderdate"), lit(date)))
+            .join(PlanBuilder::scan("customer",
+                                    {"c_custkey", "c_mktsegment"})
+                      .filter(eq(col("c_mktsegment"),
+                                 lit("BUILDING"))),
+                  JoinType::Inner, {"o_custkey"}, {"c_custkey"});
+
+    return PlanBuilder::scan("lineitem",
+                             {"l_orderkey", "l_extendedprice",
+                              "l_discount", "l_shipdate"})
+        .filter(gt(col("l_shipdate"), lit(date)))
+        .join(std::move(cust_orders), JoinType::Inner, {"l_orderkey"},
+              {"o_orderkey"})
+        .project({{col("l_orderkey"), "l_orderkey"},
+                  {col("o_orderdate"), "o_orderdate"},
+                  {col("o_shippriority"), "o_shippriority"},
+                  {revenueExpr(), "revenue"}})
+        .aggregate({"l_orderkey", "o_orderdate", "o_shippriority"},
+                   {aggSum(col("revenue"), "revenue")})
+        .topN({{"revenue", true}, {"o_orderdate", false}}, 10)
+        .build();
+}
+
+// Q4: order priority checking. The EXISTS is evaluated as a
+// distinct-orderkey aggregate joined back to orders (what a
+// production optimizer produces: the build side stays compact).
+PlanPtr
+q4()
+{
+    auto late_orders =
+        PlanBuilder::scan("lineitem", {"l_orderkey", "l_commitdate",
+                                       "l_receiptdate"})
+            .filter(lt(col("l_commitdate"), col("l_receiptdate")))
+            .aggregate({"l_orderkey"}, {aggCount("n")})
+            .project({{col("l_orderkey"), "lo_orderkey"}});
+
+    return PlanBuilder::scan("orders", {"o_orderkey", "o_orderdate",
+                                        "o_orderpriority"})
+        .filter(land(ge(col("o_orderdate"), lit(days(1993, 7, 1))),
+                     lt(col("o_orderdate"), lit(days(1993, 10, 1)))))
+        .join(std::move(late_orders), JoinType::LeftSemi,
+              {"o_orderkey"}, {"lo_orderkey"})
+        .aggregate({"o_orderpriority"}, {aggCount("order_count")})
+        .orderBy({{"o_orderpriority", false}})
+        .build();
+}
+
+// Q5: local supplier volume.
+PlanPtr
+q5()
+{
+    auto nation_region =
+        PlanBuilder::scan("nation", {"n_nationkey", "n_name",
+                                     "n_regionkey"})
+            .join(PlanBuilder::scan("region",
+                                    {"r_regionkey", "r_name"})
+                      .filter(eq(col("r_name"), lit("ASIA"))),
+                  JoinType::Inner, {"n_regionkey"}, {"r_regionkey"});
+
+    return PlanBuilder::scan("lineitem",
+                             {"l_orderkey", "l_suppkey",
+                              "l_extendedprice", "l_discount"})
+        .join(PlanBuilder::scan("orders", {"o_orderkey", "o_custkey",
+                                           "o_orderdate"})
+                  .filter(land(ge(col("o_orderdate"),
+                                  lit(days(1994, 1, 1))),
+                               lt(col("o_orderdate"),
+                                  lit(days(1995, 1, 1))))),
+              JoinType::Inner, {"l_orderkey"}, {"o_orderkey"})
+        .join(PlanBuilder::scan("customer",
+                                {"c_custkey", "c_nationkey"}),
+              JoinType::Inner, {"o_custkey"}, {"c_custkey"})
+        .join(PlanBuilder::scan("supplier",
+                                {"s_suppkey", "s_nationkey"}),
+              JoinType::Inner, {"l_suppkey"}, {"s_suppkey"})
+        .filter(eq(col("c_nationkey"), col("s_nationkey")))
+        .join(std::move(nation_region), JoinType::Inner,
+              {"s_nationkey"}, {"n_nationkey"})
+        .project({{col("n_name"), "n_name"},
+                  {revenueExpr(), "revenue"}})
+        .aggregate({"n_name"}, {aggSum(col("revenue"), "revenue")})
+        .orderBy({{"revenue", true}})
+        .build();
+}
+
+// Q6: forecasting revenue change.
+PlanPtr
+q6()
+{
+    return PlanBuilder::scan("lineitem",
+                             {"l_shipdate", "l_discount", "l_quantity",
+                              "l_extendedprice"})
+        .filter(land(
+            land(ge(col("l_shipdate"), lit(days(1994, 1, 1))),
+                 lt(col("l_shipdate"), lit(days(1995, 1, 1)))),
+            land(between(col("l_discount"), Value(0.05), Value(0.07)),
+                 lt(col("l_quantity"), lit(24.0)))))
+        .project({{mul(col("l_extendedprice"), col("l_discount")),
+                   "rev"}})
+        .aggregate({}, {aggSum(col("rev"), "revenue")})
+        .build();
+}
+
+// Q7: volume shipping between FRANCE and GERMANY.
+PlanPtr
+q7()
+{
+    auto supp_nation =
+        PlanBuilder::scan("supplier", {"s_suppkey", "s_nationkey"})
+            .join(PlanBuilder::scan("nation",
+                                    {"n_nationkey", "n_name"}, "n1_")
+                      .filter(lor(eq(col("n1_n_name"), lit("FRANCE")),
+                                  eq(col("n1_n_name"),
+                                     lit("GERMANY")))),
+                  JoinType::Inner, {"s_nationkey"}, {"n1_n_nationkey"});
+    auto cust_nation =
+        PlanBuilder::scan("customer", {"c_custkey", "c_nationkey"})
+            .join(PlanBuilder::scan("nation",
+                                    {"n_nationkey", "n_name"}, "n2_")
+                      .filter(lor(eq(col("n2_n_name"), lit("FRANCE")),
+                                  eq(col("n2_n_name"),
+                                     lit("GERMANY")))),
+                  JoinType::Inner, {"c_nationkey"}, {"n2_n_nationkey"});
+
+    return PlanBuilder::scan("lineitem",
+                             {"l_orderkey", "l_suppkey", "l_shipdate",
+                              "l_extendedprice", "l_discount"})
+        .filter(between(col("l_shipdate"), Value(days(1995, 1, 1)),
+                        Value(days(1996, 12, 31))))
+        .join(PlanBuilder::scan("orders", {"o_orderkey", "o_custkey"}),
+              JoinType::Inner, {"l_orderkey"}, {"o_orderkey"})
+        .join(std::move(cust_nation), JoinType::Inner, {"o_custkey"},
+              {"c_custkey"})
+        .join(std::move(supp_nation), JoinType::Inner, {"l_suppkey"},
+              {"s_suppkey"})
+        .filter(lor(land(eq(col("n1_n_name"), lit("FRANCE")),
+                         eq(col("n2_n_name"), lit("GERMANY"))),
+                    land(eq(col("n1_n_name"), lit("GERMANY")),
+                         eq(col("n2_n_name"), lit("FRANCE")))))
+        .project({{col("n1_n_name"), "supp_nation"},
+                  {col("n2_n_name"), "cust_nation"},
+                  {yearOf(col("l_shipdate")), "l_year"},
+                  {revenueExpr(), "volume"}})
+        .aggregate({"supp_nation", "cust_nation", "l_year"},
+                   {aggSum(col("volume"), "revenue")})
+        .orderBy({{"supp_nation", false},
+                  {"cust_nation", false},
+                  {"l_year", false}})
+        .build();
+}
+
+// Q8: national market share.
+PlanPtr
+q8()
+{
+    auto cust_region =
+        PlanBuilder::scan("customer", {"c_custkey", "c_nationkey"})
+            .join(PlanBuilder::scan("nation",
+                                    {"n_nationkey", "n_regionkey"},
+                                    "n1_"),
+                  JoinType::Inner, {"c_nationkey"}, {"n1_n_nationkey"})
+            .join(PlanBuilder::scan("region",
+                                    {"r_regionkey", "r_name"})
+                      .filter(eq(col("r_name"), lit("AMERICA"))),
+                  JoinType::Inner, {"n1_n_regionkey"}, {"r_regionkey"});
+
+    return PlanBuilder::scan("lineitem",
+                             {"l_orderkey", "l_partkey", "l_suppkey",
+                              "l_extendedprice", "l_discount"})
+        .join(PlanBuilder::scan("part", {"p_partkey", "p_type"})
+                  .filter(eq(col("p_type"),
+                             lit("ECONOMY ANODIZED STEEL"))),
+              JoinType::Inner, {"l_partkey"}, {"p_partkey"})
+        .join(PlanBuilder::scan("orders", {"o_orderkey", "o_custkey",
+                                           "o_orderdate"})
+                  .filter(between(col("o_orderdate"),
+                                  Value(days(1995, 1, 1)),
+                                  Value(days(1996, 12, 31)))),
+              JoinType::Inner, {"l_orderkey"}, {"o_orderkey"})
+        .join(std::move(cust_region), JoinType::Inner, {"o_custkey"},
+              {"c_custkey"})
+        .join(PlanBuilder::scan("supplier",
+                                {"s_suppkey", "s_nationkey"}),
+              JoinType::Inner, {"l_suppkey"}, {"s_suppkey"})
+        .join(PlanBuilder::scan("nation", {"n_nationkey", "n_name"},
+                                "n2_"),
+              JoinType::Inner, {"s_nationkey"}, {"n2_n_nationkey"})
+        .project({{yearOf(col("o_orderdate")), "o_year"},
+                  {revenueExpr(), "volume"},
+                  {caseWhen(eq(col("n2_n_name"), lit("BRAZIL")),
+                            revenueExpr(), lit(0.0)),
+                   "brazil_volume"}})
+        .aggregate({"o_year"},
+                   {aggSum(col("brazil_volume"), "brazil"),
+                    aggSum(col("volume"), "total")})
+        .project({{col("o_year"), "o_year"},
+                  {divide(col("brazil"), col("total")), "mkt_share"}})
+        .orderBy({{"o_year", false}})
+        .build();
+}
+
+// Q9: product type profit measure.
+PlanPtr
+q9()
+{
+    return PlanBuilder::scan("lineitem",
+                             {"l_orderkey", "l_partkey", "l_suppkey",
+                              "l_quantity", "l_extendedprice",
+                              "l_discount"})
+        .join(PlanBuilder::scan("part", {"p_partkey", "p_name"})
+                  .filter(like("p_name", "%green%")),
+              JoinType::Inner, {"l_partkey"}, {"p_partkey"})
+        .join(PlanBuilder::scan("supplier",
+                                {"s_suppkey", "s_nationkey"}),
+              JoinType::Inner, {"l_suppkey"}, {"s_suppkey"})
+        .join(PlanBuilder::scan("partsupp",
+                                {"ps_partkey", "ps_suppkey",
+                                 "ps_supplycost"}),
+              JoinType::Inner, {"l_partkey", "l_suppkey"},
+              {"ps_partkey", "ps_suppkey"})
+        .join(PlanBuilder::scan("orders",
+                                {"o_orderkey", "o_orderdate"}),
+              JoinType::Inner, {"l_orderkey"}, {"o_orderkey"})
+        .join(PlanBuilder::scan("nation", {"n_nationkey", "n_name"}),
+              JoinType::Inner, {"s_nationkey"}, {"n_nationkey"})
+        .project({{col("n_name"), "nation"},
+                  {yearOf(col("o_orderdate")), "o_year"},
+                  {sub(revenueExpr(),
+                       mul(col("ps_supplycost"), col("l_quantity"))),
+                   "amount"}})
+        .aggregate({"nation", "o_year"},
+                   {aggSum(col("amount"), "sum_profit")})
+        .orderBy({{"nation", false}, {"o_year", true}})
+        .build();
+}
+
+// Q10: returned item reporting.
+PlanPtr
+q10()
+{
+    return PlanBuilder::scan("lineitem",
+                             {"l_orderkey", "l_returnflag",
+                              "l_extendedprice", "l_discount"})
+        .filter(eq(col("l_returnflag"), lit("R")))
+        .join(PlanBuilder::scan("orders", {"o_orderkey", "o_custkey",
+                                           "o_orderdate"})
+                  .filter(land(ge(col("o_orderdate"),
+                                  lit(days(1993, 10, 1))),
+                               lt(col("o_orderdate"),
+                                  lit(days(1994, 1, 1))))),
+              JoinType::Inner, {"l_orderkey"}, {"o_orderkey"})
+        .join(PlanBuilder::scan("customer",
+                                {"c_custkey", "c_name", "c_acctbal",
+                                 "c_nationkey", "c_phone", "c_address",
+                                 "c_comment"}),
+              JoinType::Inner, {"o_custkey"}, {"c_custkey"})
+        .join(PlanBuilder::scan("nation", {"n_nationkey", "n_name"}),
+              JoinType::Inner, {"c_nationkey"}, {"n_nationkey"})
+        .project({{col("c_custkey"), "c_custkey"},
+                  {col("c_name"), "c_name"},
+                  {col("c_acctbal"), "c_acctbal"},
+                  {col("n_name"), "n_name"},
+                  {revenueExpr(), "revenue"}})
+        .aggregate({"c_custkey", "c_name", "c_acctbal", "n_name"},
+                   {aggSum(col("revenue"), "revenue")})
+        .topN({{"revenue", true}}, 20)
+        .build();
+}
+
+/** Shared Q11 base: partsupp in GERMANY. */
+PlanBuilder
+q11Base()
+{
+    return PlanBuilder::scan("partsupp",
+                             {"ps_partkey", "ps_suppkey",
+                              "ps_availqty", "ps_supplycost"})
+        .join(PlanBuilder::scan("supplier",
+                                {"s_suppkey", "s_nationkey"}),
+              JoinType::Inner, {"ps_suppkey"}, {"s_suppkey"})
+        .join(PlanBuilder::scan("nation", {"n_nationkey", "n_name"})
+                  .filter(eq(col("n_name"), lit("GERMANY"))),
+              JoinType::Inner, {"s_nationkey"}, {"n_nationkey"})
+        .project({{col("ps_partkey"), "ps_partkey"},
+                  {mul(col("ps_supplycost"), col("ps_availqty")),
+                   "value"}});
+}
+
+// Q11: important stock identification.
+PlanPtr
+q11()
+{
+    return q11Base()
+        .aggregate({"ps_partkey"}, {aggSum(col("value"), "value")})
+        .filter(gt(col("value"),
+                   mul(param("q11_total"), lit(0.0001))))
+        .withParam("q11_total",
+                   q11Base().aggregate({},
+                                       {aggSum(col("value"), "t")}))
+        .orderBy({{"value", true}})
+        .build();
+}
+
+// Q12: shipping modes and order priority.
+PlanPtr
+q12()
+{
+    return PlanBuilder::scan("lineitem",
+                             {"l_orderkey", "l_shipmode", "l_shipdate",
+                              "l_commitdate", "l_receiptdate"})
+        .filter(land(
+            land(inList("l_shipmode", {"MAIL", "SHIP"}),
+                 land(lt(col("l_commitdate"), col("l_receiptdate")),
+                      lt(col("l_shipdate"), col("l_commitdate")))),
+            land(ge(col("l_receiptdate"), lit(days(1994, 1, 1))),
+                 lt(col("l_receiptdate"), lit(days(1995, 1, 1))))))
+        .join(PlanBuilder::scan("orders",
+                                {"o_orderkey", "o_orderpriority"}),
+              JoinType::Inner, {"l_orderkey"}, {"o_orderkey"})
+        .project(
+            {{col("l_shipmode"), "l_shipmode"},
+             {caseWhen(inList("o_orderpriority",
+                              {"1-URGENT", "2-HIGH"}),
+                       lit(1.0), lit(0.0)),
+              "high"},
+             {caseWhen(inList("o_orderpriority",
+                              {"1-URGENT", "2-HIGH"}),
+                       lit(0.0), lit(1.0)),
+              "low"}})
+        .aggregate({"l_shipmode"},
+                   {aggSum(col("high"), "high_line_count"),
+                    aggSum(col("low"), "low_line_count")})
+        .orderBy({{"l_shipmode", false}})
+        .build();
+}
+
+// Q13: customer distribution.
+PlanPtr
+q13()
+{
+    return PlanBuilder::scan("customer", {"c_custkey"})
+        .join(PlanBuilder::scan("orders", {"o_orderkey", "o_custkey",
+                                           "o_comment"})
+                  .filter(lnot(like("o_comment",
+                                    "%special%requests%"))),
+              JoinType::LeftOuter, {"c_custkey"}, {"o_custkey"})
+        .aggregate({"c_custkey"},
+                   {aggSum(col("__matched"), "c_count")})
+        .aggregate({"c_count"}, {aggCount("custdist")})
+        .orderBy({{"custdist", true}, {"c_count", true}})
+        .build();
+}
+
+// Q14: promotion effect.
+PlanPtr
+q14()
+{
+    return PlanBuilder::scan("lineitem",
+                             {"l_partkey", "l_shipdate",
+                              "l_extendedprice", "l_discount"})
+        .filter(land(ge(col("l_shipdate"), lit(days(1995, 9, 1))),
+                     lt(col("l_shipdate"), lit(days(1995, 10, 1)))))
+        .join(PlanBuilder::scan("part", {"p_partkey", "p_type"}),
+              JoinType::Inner, {"l_partkey"}, {"p_partkey"})
+        .project({{caseWhen(like("p_type", "PROMO%"), revenueExpr(),
+                            lit(0.0)),
+                   "promo"},
+                  {revenueExpr(), "rev"}})
+        .aggregate({}, {aggSum(col("promo"), "promo_rev"),
+                        aggSum(col("rev"), "total_rev")})
+        .project({{mul(lit(100.0),
+                       divide(col("promo_rev"), col("total_rev"))),
+                   "promo_revenue"}})
+        .build();
+}
+
+/** Shared Q15 revenue view. */
+PlanBuilder
+q15Revenue()
+{
+    return PlanBuilder::scan("lineitem",
+                             {"l_suppkey", "l_shipdate",
+                              "l_extendedprice", "l_discount"})
+        .filter(land(ge(col("l_shipdate"), lit(days(1996, 1, 1))),
+                     lt(col("l_shipdate"), lit(days(1996, 4, 1)))))
+        .project({{col("l_suppkey"), "supplier_no"},
+                  {revenueExpr(), "rev"}})
+        .aggregate({"supplier_no"},
+                   {aggSum(col("rev"), "total_revenue")});
+}
+
+// Q15: top supplier.
+PlanPtr
+q15()
+{
+    return q15Revenue()
+        .filter(ge(col("total_revenue"), param("q15_max")))
+        .withParam("q15_max",
+                   q15Revenue().aggregate(
+                       {}, {aggMax(col("total_revenue"), "m")}))
+        .join(PlanBuilder::scan("supplier",
+                                {"s_suppkey", "s_name", "s_address",
+                                 "s_phone"}),
+              JoinType::Inner, {"supplier_no"}, {"s_suppkey"})
+        .orderBy({{"s_suppkey", false}})
+        .build();
+}
+
+// Q16: parts/supplier relationship.
+PlanPtr
+q16()
+{
+    return PlanBuilder::scan("partsupp", {"ps_partkey", "ps_suppkey"})
+        .join(PlanBuilder::scan("part", {"p_partkey", "p_brand",
+                                         "p_type", "p_size"})
+                  .filter(land(
+                      land(ne(col("p_brand"), lit("Brand#45")),
+                           lnot(like("p_type", "MEDIUM POLISHED%"))),
+                      inListInt("p_size",
+                                {49, 14, 23, 45, 19, 3, 36, 9}))),
+              JoinType::Inner, {"ps_partkey"}, {"p_partkey"})
+        .join(PlanBuilder::scan("supplier", {"s_suppkey", "s_comment"})
+                  .filter(like("s_comment",
+                               "%Customer%Complaints%")),
+              JoinType::LeftAnti, {"ps_suppkey"}, {"s_suppkey"})
+        .aggregate({"p_brand", "p_type", "p_size"},
+                   {aggCountDistinct(col("ps_suppkey"),
+                                     "supplier_cnt")})
+        .orderBy({{"supplier_cnt", true},
+                  {"p_brand", false},
+                  {"p_type", false},
+                  {"p_size", false}})
+        .build();
+}
+
+// Q17: small-quantity-order revenue.
+PlanPtr
+q17()
+{
+    auto avg_qty =
+        PlanBuilder::scan("lineitem", {"l_partkey", "l_quantity"})
+            .aggregate({"l_partkey"},
+                       {aggAvg(col("l_quantity"), "avg_qty")})
+            .project({{col("l_partkey"), "ap_partkey"},
+                      {col("avg_qty"), "avg_qty"}});
+
+    return PlanBuilder::scan("lineitem",
+                             {"l_partkey", "l_quantity",
+                              "l_extendedprice"})
+        .join(PlanBuilder::scan("part", {"p_partkey", "p_brand",
+                                         "p_container"})
+                  .filter(land(eq(col("p_brand"), lit("Brand#23")),
+                               eq(col("p_container"),
+                                  lit("MED BOX")))),
+              JoinType::Inner, {"l_partkey"}, {"p_partkey"})
+        .join(std::move(avg_qty), JoinType::Inner, {"l_partkey"},
+              {"ap_partkey"})
+        .filter(lt(col("l_quantity"),
+                   mul(lit(0.2), col("avg_qty"))))
+        .aggregate({}, {aggSum(col("l_extendedprice"), "s")})
+        .project({{divide(col("s"), lit(7.0)), "avg_yearly"}})
+        .build();
+}
+
+// Q18: large volume customer.
+PlanPtr
+q18()
+{
+    auto big_orders =
+        PlanBuilder::scan("lineitem", {"l_orderkey", "l_quantity"})
+            .aggregate({"l_orderkey"},
+                       {aggSum(col("l_quantity"), "total_qty")})
+            .filter(gt(col("total_qty"), lit(300.0)))
+            .project({{col("l_orderkey"), "bo_orderkey"},
+                      {col("total_qty"), "total_qty"}});
+
+    return PlanBuilder::scan("orders", {"o_orderkey", "o_custkey",
+                                        "o_orderdate", "o_totalprice"})
+        .join(std::move(big_orders), JoinType::Inner, {"o_orderkey"},
+              {"bo_orderkey"})
+        .join(PlanBuilder::scan("customer", {"c_custkey", "c_name"}),
+              JoinType::Inner, {"o_custkey"}, {"c_custkey"})
+        .aggregate({"c_name", "c_custkey", "o_orderkey", "o_orderdate",
+                    "o_totalprice"},
+                   {aggMax(col("total_qty"), "sum_qty")})
+        .topN({{"o_totalprice", true}, {"o_orderdate", false}}, 100)
+        .build();
+}
+
+// Q19: discounted revenue (three OR'd brand/container branches).
+PlanPtr
+q19()
+{
+    auto branch = [](const char *brand, std::vector<std::string> conts,
+                     double qlo, double qhi) {
+        return land(
+            land(eq(col("p_brand"), lit(brand)),
+                 inList("p_container", std::move(conts))),
+            land(between(col("l_quantity"), Value(qlo), Value(qhi)),
+                 le(col("p_size"), lit(15))));
+    };
+    return PlanBuilder::scan("lineitem",
+                             {"l_partkey", "l_quantity",
+                              "l_extendedprice", "l_discount",
+                              "l_shipmode", "l_shipinstruct"})
+        .filter(land(inList("l_shipmode", {"AIR", "REG AIR"}),
+                     eq(col("l_shipinstruct"),
+                        lit("DELIVER IN PERSON"))))
+        .join(PlanBuilder::scan("part", {"p_partkey", "p_brand",
+                                         "p_container", "p_size"}),
+              JoinType::Inner, {"l_partkey"}, {"p_partkey"})
+        .filter(lor(
+            branch("Brand#12",
+                   {"SM CASE", "SM BOX", "SM PACK", "SM PKG"}, 1, 11),
+            lor(branch("Brand#23",
+                       {"MED BAG", "MED BOX", "MED PKG", "MED PACK"},
+                       10, 20),
+                branch("Brand#34",
+                       {"LG CASE", "LG BOX", "LG PACK", "LG PKG"}, 20,
+                       30))))
+        .project({{revenueExpr(), "rev"}})
+        .aggregate({}, {aggSum(col("rev"), "revenue")})
+        .build();
+}
+
+// Q20: potential part promotion (the paper's Figure 7 query).
+PlanPtr
+q20()
+{
+    auto ship_qty =
+        PlanBuilder::scan("lineitem",
+                          {"l_partkey", "l_suppkey", "l_shipdate",
+                           "l_quantity"})
+            .filter(land(ge(col("l_shipdate"), lit(days(1993, 1, 1))),
+                         lt(col("l_shipdate"), lit(days(1994, 1, 1)))))
+            .aggregate({"l_partkey", "l_suppkey"},
+                       {aggSum(col("l_quantity"), "sum_qty")})
+            .project({{col("l_partkey"), "lq_partkey"},
+                      {col("l_suppkey"), "lq_suppkey"},
+                      {mul(lit(0.5), col("sum_qty")), "half_qty"}});
+
+    // Join order mirrors the paper's Figure 7 plan: the filtered
+    // (partsupp x shipped-quantity) stream joins into `part`, which
+    // the optimizer can turn into a parallel index nested-loops join
+    // at high MAXDOP (with the p_name LIKE filter re-applied above).
+    auto eligible_ps =
+        PlanBuilder::scan("partsupp", {"ps_partkey", "ps_suppkey",
+                                       "ps_availqty"})
+            .join(std::move(ship_qty), JoinType::Inner,
+                  {"ps_partkey", "ps_suppkey"},
+                  {"lq_partkey", "lq_suppkey"})
+            .filter(gt(col("ps_availqty"), col("half_qty")))
+            .join(PlanBuilder::scan("part", {"p_partkey", "p_name"})
+                      .filter(like("p_name", "lemon%")),
+                  JoinType::Inner, {"ps_partkey"}, {"p_partkey"});
+
+    return PlanBuilder::scan("supplier",
+                             {"s_suppkey", "s_name", "s_address",
+                              "s_nationkey"})
+        .join(std::move(eligible_ps), JoinType::LeftSemi,
+              {"s_suppkey"}, {"ps_suppkey"})
+        .join(PlanBuilder::scan("nation", {"n_nationkey", "n_name"})
+                  .filter(eq(col("n_name"), lit("ALGERIA"))),
+              JoinType::Inner, {"s_nationkey"}, {"n_nationkey"})
+        .orderBy({{"s_name", false}})
+        .build();
+}
+
+// Q21: suppliers who kept orders waiting. The EXISTS / NOT EXISTS
+// pair is evaluated with per-order distinct-supplier counts, but only
+// over *candidate* orders (late Saudi lines on F orders) — the memory
+// footprint a correlated plan would have, not a whole-table one.
+PlanPtr
+q21()
+{
+    auto candidate_lines = [] {
+        return PlanBuilder::scan("lineitem",
+                                 {"l_orderkey", "l_suppkey",
+                                  "l_receiptdate", "l_commitdate"})
+            .filter(gt(col("l_receiptdate"), col("l_commitdate")))
+            .join(PlanBuilder::scan("supplier",
+                                    {"s_suppkey", "s_name",
+                                     "s_nationkey"}),
+                  JoinType::Inner, {"l_suppkey"}, {"s_suppkey"})
+            .join(PlanBuilder::scan("nation",
+                                    {"n_nationkey", "n_name"})
+                      .filter(eq(col("n_name"),
+                                 lit("SAUDI ARABIA"))),
+                  JoinType::Inner, {"s_nationkey"}, {"n_nationkey"})
+            .join(PlanBuilder::scan("orders", {"o_orderkey",
+                                               "o_orderstatus"})
+                      .filter(eq(col("o_orderstatus"), lit("F"))),
+                  JoinType::Inner, {"l_orderkey"}, {"o_orderkey"});
+    };
+
+    auto keys = candidate_lines()
+                    .aggregate({"l_orderkey"}, {aggCount("n")})
+                    .project({{col("l_orderkey"), "k_orderkey"}});
+
+    auto totals =
+        PlanBuilder::scan("lineitem", {"l_orderkey", "l_suppkey"})
+            .join(std::move(keys), JoinType::LeftSemi, {"l_orderkey"},
+                  {"k_orderkey"})
+            .aggregate({"l_orderkey"},
+                       {aggCountDistinct(col("l_suppkey"), "nsupp")})
+            .project({{col("l_orderkey"), "t_orderkey"},
+                      {col("nsupp"), "nsupp"}});
+
+    auto keys2 = candidate_lines()
+                     .aggregate({"l_orderkey"}, {aggCount("n")})
+                     .project({{col("l_orderkey"), "k_orderkey"}});
+    auto lates =
+        PlanBuilder::scan("lineitem", {"l_orderkey", "l_suppkey",
+                                       "l_receiptdate",
+                                       "l_commitdate"})
+            .filter(gt(col("l_receiptdate"), col("l_commitdate")))
+            .join(std::move(keys2), JoinType::LeftSemi,
+                  {"l_orderkey"}, {"k_orderkey"})
+            .aggregate({"l_orderkey"},
+                       {aggCountDistinct(col("l_suppkey"), "nlate")})
+            .project({{col("l_orderkey"), "x_orderkey"},
+                      {col("nlate"), "nlate"}});
+
+    return candidate_lines()
+        .join(std::move(totals), JoinType::Inner, {"l_orderkey"},
+              {"t_orderkey"})
+        .join(std::move(lates), JoinType::Inner, {"l_orderkey"},
+              {"x_orderkey"})
+        .filter(land(ge(col("nsupp"), lit(2.0)),
+                     eq(col("nlate"), lit(1.0))))
+        .aggregate({"s_name"}, {aggCount("numwait")})
+        .topN({{"numwait", true}, {"s_name", false}}, 100)
+        .build();
+}
+
+// Q22: global sales opportunity.
+PlanPtr
+q22()
+{
+    const std::vector<std::string> codes = {"13", "31", "23", "29",
+                                            "30", "18", "17"};
+    return PlanBuilder::scan("customer",
+                             {"c_custkey", "c_phone", "c_acctbal"})
+        .filter(land(substrIn("c_phone", 1, 2, codes),
+                     gt(col("c_acctbal"), param("q22_avg"))))
+        .withParam(
+            "q22_avg",
+            PlanBuilder::scan("customer", {"c_phone", "c_acctbal"})
+                .filter(land(substrIn("c_phone", 1, 2, codes),
+                             gt(col("c_acctbal"), lit(0.0))))
+                .aggregate({}, {aggAvg(col("c_acctbal"), "a")}))
+        .join(PlanBuilder::scan("orders", {"o_orderkey", "o_custkey"}),
+              JoinType::LeftAnti, {"c_custkey"}, {"o_custkey"})
+        .project({{substrInt("c_phone", 1, 2), "cntrycode"},
+                  {col("c_acctbal"), "c_acctbal"}})
+        .aggregate({"cntrycode"},
+                   {aggCount("numcust"),
+                    aggSum(col("c_acctbal"), "totacctbal")})
+        .orderBy({{"cntrycode", false}})
+        .build();
+}
+
+} // namespace
+
+PlanPtr
+query(int q)
+{
+    switch (q) {
+      case 1: return q1();
+      case 2: return q2();
+      case 3: return q3();
+      case 4: return q4();
+      case 5: return q5();
+      case 6: return q6();
+      case 7: return q7();
+      case 8: return q8();
+      case 9: return q9();
+      case 10: return q10();
+      case 11: return q11();
+      case 12: return q12();
+      case 13: return q13();
+      case 14: return q14();
+      case 15: return q15();
+      case 16: return q16();
+      case 17: return q17();
+      case 18: return q18();
+      case 19: return q19();
+      case 20: return q20();
+      case 21: return q21();
+      case 22: return q22();
+      default:
+        fatal("TPC-H query number must be 1..22, got " +
+              std::to_string(q));
+    }
+}
+
+} // namespace tpch
+} // namespace dbsens

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The 22 TPC-H queries as logical plans. Each builder returns the
+ * un-optimized plan (the optimizer picks algorithms and parallelism
+ * per configuration). Correlated subqueries are expressed in
+ * de-correlated form (aggregate + join), which is what production
+ * optimizers produce; scalar subqueries use the param mechanism.
+ * Parameters are the TPC-H validation defaults.
+ */
+
+#ifndef DBSENS_WORKLOADS_TPCH_TPCH_QUERIES_H
+#define DBSENS_WORKLOADS_TPCH_TPCH_QUERIES_H
+
+#include "exec/plan.h"
+
+namespace dbsens {
+namespace tpch {
+
+/** Build query q (1..22). */
+PlanPtr query(int q);
+
+/** Number of queries in the suite. */
+inline constexpr int kQueryCount = 22;
+
+} // namespace tpch
+} // namespace dbsens
+
+#endif // DBSENS_WORKLOADS_TPCH_TPCH_QUERIES_H

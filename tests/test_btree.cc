@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit and property tests for the B+tree index.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/random.h"
+#include "storage/btree.h"
+
+namespace dbsens {
+namespace {
+
+PageAllocator
+counterAlloc(PageId *next)
+{
+    return [next](uint64_t) { return (*next)++; };
+}
+
+class BTreeTest : public ::testing::Test
+{
+  protected:
+    BTreeTest() : tree(counterAlloc(&nextPage), VirtualRegion{}) {}
+
+    PageId nextPage = 0;
+    BTree tree;
+};
+
+TEST_F(BTreeTest, EmptySeekMisses)
+{
+    EXPECT_EQ(tree.seek(42), kInvalidRow);
+    EXPECT_EQ(tree.entryCount(), 0u);
+}
+
+TEST_F(BTreeTest, InsertAndSeek)
+{
+    tree.insert(10, 100);
+    tree.insert(20, 200);
+    tree.insert(5, 50);
+    EXPECT_EQ(tree.seek(10), 100u);
+    EXPECT_EQ(tree.seek(20), 200u);
+    EXPECT_EQ(tree.seek(5), 50u);
+    EXPECT_EQ(tree.seek(15), kInvalidRow);
+    EXPECT_EQ(tree.entryCount(), 3u);
+}
+
+TEST_F(BTreeTest, DuplicateKeysAllReturned)
+{
+    for (RowId r = 0; r < 10; ++r)
+        tree.insert(7, r * 11);
+    auto rows = tree.seekAll(7);
+    ASSERT_EQ(rows.size(), 10u);
+    std::sort(rows.begin(), rows.end());
+    for (RowId r = 0; r < 10; ++r)
+        EXPECT_EQ(rows[r], r * 11);
+}
+
+TEST_F(BTreeTest, EraseSpecificEntry)
+{
+    tree.insert(7, 1);
+    tree.insert(7, 2);
+    tree.insert(7, 3);
+    EXPECT_TRUE(tree.erase(7, 2));
+    EXPECT_FALSE(tree.erase(7, 2));
+    auto rows = tree.seekAll(7);
+    EXPECT_EQ(rows.size(), 2u);
+    EXPECT_EQ(std::count(rows.begin(), rows.end(), 2u), 0);
+    EXPECT_EQ(tree.entryCount(), 2u);
+}
+
+TEST_F(BTreeTest, RangeScanOrderedInclusive)
+{
+    for (int64_t k = 0; k < 100; ++k)
+        tree.insert(k, RowId(k));
+    std::vector<int64_t> keys;
+    tree.scanRange(10, 20, [&](int64_t k, RowId) {
+        keys.push_back(k);
+        return true;
+    });
+    ASSERT_EQ(keys.size(), 11u);
+    EXPECT_EQ(keys.front(), 10);
+    EXPECT_EQ(keys.back(), 20);
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST_F(BTreeTest, RangeScanEarlyStop)
+{
+    for (int64_t k = 0; k < 100; ++k)
+        tree.insert(k, RowId(k));
+    int visited = 0;
+    tree.scanRange(0, 99, [&](int64_t, RowId) {
+        return ++visited < 5;
+    });
+    EXPECT_EQ(visited, 5);
+}
+
+TEST_F(BTreeTest, SplitsGrowHeightAndKeepOrder)
+{
+    const int n = 5000; // forces multiple levels at cap 256
+    for (int64_t k = 0; k < n; ++k)
+        tree.insert(k * 3, RowId(k));
+    EXPECT_GE(tree.height(), 2);
+    tree.checkInvariants();
+    for (int64_t k = 0; k < n; ++k)
+        EXPECT_EQ(tree.seek(k * 3), RowId(k));
+    EXPECT_EQ(tree.seek(1), kInvalidRow);
+}
+
+TEST_F(BTreeTest, SeekReportsVisitedPages)
+{
+    for (int64_t k = 0; k < 5000; ++k)
+        tree.insert(k, RowId(k));
+    std::vector<PageId> touched;
+    tree.seek(2500, &touched);
+    EXPECT_GE(touched.size(), 2u); // at least root + leaf
+    EXPECT_LE(touched.size(), size_t(tree.height() + 1));
+}
+
+TEST_F(BTreeTest, CacheTouchesCoverFullScaleLevels)
+{
+    for (int64_t k = 0; k < 10000; ++k)
+        tree.insert(k, RowId(k));
+    // Rebuild with a region to enable touches.
+    PageId np = 0;
+    VirtualSpace vs;
+    BTree t2(counterAlloc(&np), vs.allocateScaled(10000 * 16 * 4));
+    for (int64_t k = 0; k < 10000; ++k)
+        t2.insert(k, RowId(k));
+    std::vector<uint64_t> touches;
+    t2.cacheTouches(0.5, touches);
+    // 10000 * 1024 entries => ~40M entries => 4 levels at fanout 256.
+    EXPECT_GE(touches.size(), 3u);
+    EXPECT_LE(touches.size(), 6u);
+    // Same fraction touches the same upper-level lines (hot).
+    std::vector<uint64_t> touches2;
+    t2.cacheTouches(0.5, touches2);
+    EXPECT_EQ(touches, touches2);
+}
+
+class BTreeRandomOps : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(BTreeRandomOps, MatchesReferenceMultimap)
+{
+    PageId np = 0;
+    BTree tree(counterAlloc(&np), VirtualRegion{});
+    std::multimap<int64_t, RowId> ref;
+    Rng rng(GetParam());
+    for (int op = 0; op < 20000; ++op) {
+        const int64_t key = rng.range(0, 500);
+        if (rng.chance(0.7)) {
+            const RowId row = RowId(op);
+            tree.insert(key, row);
+            ref.emplace(key, row);
+        } else if (!ref.empty()) {
+            auto it = ref.lower_bound(key);
+            if (it != ref.end() && it->first == key) {
+                EXPECT_TRUE(tree.erase(it->first, it->second));
+                ref.erase(it);
+            } else {
+                EXPECT_FALSE(tree.erase(key, 999999999));
+            }
+        }
+    }
+    EXPECT_EQ(tree.entryCount(), ref.size());
+    tree.checkInvariants();
+    // Spot-check all keys.
+    for (int64_t key = 0; key <= 500; ++key) {
+        auto rows = tree.seekAll(key);
+        std::vector<RowId> expect;
+        for (auto [it, end] = ref.equal_range(key); it != end; ++it)
+            expect.push_back(it->second);
+        std::sort(rows.begin(), rows.end());
+        std::sort(expect.begin(), expect.end());
+        EXPECT_EQ(rows, expect) << "key " << key;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeRandomOps,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+TEST(BTreeProperty, SequentialAndReverseAndRandomInsertAllBalanced)
+{
+    for (int variant = 0; variant < 3; ++variant) {
+        PageId np = 0;
+        BTree t(counterAlloc(&np), VirtualRegion{});
+        Rng rng(7);
+        for (int i = 0; i < 30000; ++i) {
+            int64_t k;
+            if (variant == 0)
+                k = i;
+            else if (variant == 1)
+                k = 30000 - i;
+            else
+                k = rng.range(0, 1 << 30);
+            t.insert(k, RowId(i));
+        }
+        t.checkInvariants();
+        EXPECT_EQ(t.entryCount(), 30000u);
+        // Height must be logarithmic: at fanout >= 128 (half-full),
+        // 30000 entries fit within 3 levels comfortably.
+        EXPECT_LE(t.height(), 4);
+    }
+}
+
+} // namespace
+} // namespace dbsens

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel and coroutine tasks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/core_scheduler.h"
+#include "sim/dram_model.h"
+#include "sim/event_loop.h"
+#include "sim/ssd_model.h"
+#include "sim/task.h"
+
+namespace dbsens {
+namespace {
+
+TEST(EventLoop, CallbacksRunInTimeOrder)
+{
+    EventLoop loop;
+    std::vector<int> order;
+    loop.at(30, [&] { order.push_back(3); });
+    loop.at(10, [&] { order.push_back(1); });
+    loop.at(20, [&] { order.push_back(2); });
+    loop.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoop, SameTimeEventsAreFifo)
+{
+    EventLoop loop;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        loop.at(5, [&, i] { order.push_back(i); });
+    loop.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoop, RunUntilAdvancesClockAndLeavesLaterEvents)
+{
+    EventLoop loop;
+    int fired = 0;
+    loop.at(100, [&] { ++fired; });
+    loop.at(200, [&] { ++fired; });
+    loop.runUntil(150);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(loop.now(), 150);
+    loop.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, NestedSchedulingFromCallback)
+{
+    EventLoop loop;
+    std::vector<SimTime> times;
+    loop.at(10, [&] {
+        times.push_back(loop.now());
+        loop.after(5, [&] { times.push_back(loop.now()); });
+    });
+    loop.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_EQ(times[0], 10);
+    EXPECT_EQ(times[1], 15);
+}
+
+Task<int>
+addLater(EventLoop &loop, int a, int b)
+{
+    co_await SimDelay(loop, 100);
+    co_return a + b;
+}
+
+Task<void>
+outer(EventLoop &loop, int &result)
+{
+    const int x = co_await addLater(loop, 2, 3);
+    const int y = co_await addLater(loop, x, 10);
+    result = y;
+}
+
+TEST(Task, NestedAwaitPropagatesValues)
+{
+    EventLoop loop;
+    int result = 0;
+    loop.spawn(outer(loop, result));
+    loop.run();
+    EXPECT_EQ(result, 15);
+    EXPECT_EQ(loop.now(), 200);
+    EXPECT_EQ(loop.activeTasks(), 0);
+}
+
+TEST(Task, ManyConcurrentRootTasksComplete)
+{
+    EventLoop loop;
+    int done = 0;
+    auto worker = [](EventLoop &lp, int delay, int &d) -> Task<void> {
+        co_await SimDelay(lp, delay);
+        co_await SimDelay(lp, delay);
+        ++d;
+    };
+    for (int i = 1; i <= 100; ++i)
+        loop.spawn(worker(loop, i, done));
+    EXPECT_EQ(loop.activeTasks(), 100);
+    loop.run();
+    EXPECT_EQ(done, 100);
+    EXPECT_EQ(loop.activeTasks(), 0);
+    EXPECT_EQ(loop.now(), 200);
+}
+
+TEST(Task, ZeroDelayDoesNotSuspend)
+{
+    EventLoop loop;
+    bool ran = false;
+    auto t = [](EventLoop &lp, bool &r) -> Task<void> {
+        co_await SimDelay(lp, 0);
+        r = true;
+    };
+    loop.spawn(t(loop, ran));
+    loop.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(loop.now(), 0);
+}
+
+TEST(CoreScheduler, SingleCoreSerializesBursts)
+{
+    EventLoop loop;
+    CoreScheduler cpu(loop);
+    cpu.setAllowedCores(1);
+    std::vector<SimTime> ends;
+    auto burst = [&](double ns) -> Task<void> {
+        co_await cpu.consume(CpuWork{ns, 0, 0});
+        ends.push_back(loop.now());
+    };
+    loop.spawn(burst(1000));
+    loop.spawn(burst(1000));
+    loop.spawn(burst(1000));
+    loop.run();
+    ASSERT_EQ(ends.size(), 3u);
+    EXPECT_EQ(ends[0], 1000);
+    EXPECT_EQ(ends[1], 2000);
+    EXPECT_EQ(ends[2], 3000);
+}
+
+TEST(CoreScheduler, TwoCoresRunInParallel)
+{
+    EventLoop loop;
+    CoreScheduler cpu(loop);
+    cpu.setAllowedCores(2);
+    std::vector<SimTime> ends;
+    auto burst = [&](double ns) -> Task<void> {
+        co_await cpu.consume(CpuWork{ns, 0, 0});
+        ends.push_back(loop.now());
+    };
+    loop.spawn(burst(1000));
+    loop.spawn(burst(1000));
+    loop.run();
+    ASSERT_EQ(ends.size(), 2u);
+    // Cores 0 and 1 are different physical cores: fully parallel.
+    EXPECT_EQ(ends[0], 1000);
+    EXPECT_EQ(ends[1], 1000);
+}
+
+TEST(CoreScheduler, SmtSiblingsSlowEachOtherWhenComputeBound)
+{
+    EventLoop loop;
+    CoreScheduler cpu(loop);
+    // 17 allowed cores: core 16 is the SMT sibling of core 0.
+    cpu.setAllowedCores(17);
+    std::vector<SimTime> ends(17);
+    auto burst = [&](int i) -> Task<void> {
+        co_await cpu.consume(CpuWork{1000, 0, 0});
+        ends[i] = loop.now();
+    };
+    for (int i = 0; i < 17; ++i)
+        loop.spawn(burst(i));
+    loop.run();
+    // 16 bursts land on idle physical cores; the 17th shares a core.
+    // Compute-bound combined throughput is 0.7 => per-thread share
+    // 0.35 => duration 1000/0.35 ns.
+    const SimTime shared = SimTime(1000.0 * 2.0 /
+                                   calib::smtCombinedThroughput(0.0));
+    int slow = 0, fast = 0;
+    for (auto t : ends) {
+        if (t == 1000)
+            ++fast;
+        else if (t == shared)
+            ++slow;
+    }
+    EXPECT_EQ(fast, 16);
+    EXPECT_EQ(slow, 1);
+}
+
+TEST(CoreScheduler, StallHeavySiblingsOverlapWell)
+{
+    EventLoop loop;
+    CoreScheduler cpu(loop);
+    cpu.setAllowedCores(32);
+    // Two bursts forced onto the same physical core by filling all
+    // others: simpler — allow only cores 0 and 16 via a tiny trick:
+    // run 32 bursts and check total completion is shorter for
+    // stall-heavy work than compute-heavy work of equal size.
+    SimTime compute_end = 0, stall_end = 0;
+    {
+        EventLoop l2;
+        CoreScheduler c2(l2);
+        c2.setAllowedCores(32);
+        auto burst = [&](CpuWork w) -> Task<void> {
+            co_await c2.consume(w);
+        };
+        for (int i = 0; i < 32; ++i)
+            loop.spawn(burst(CpuWork{0, 0, 0})); // placeholder
+        (void)burst;
+    }
+    auto run_all = [&](double comp, double stall) -> SimTime {
+        EventLoop l;
+        CoreScheduler c(l);
+        c.setAllowedCores(32);
+        auto burst = [&](CpuWork w) -> Task<void> {
+            co_await c.consume(w);
+        };
+        for (int i = 0; i < 32; ++i)
+            l.spawn(burst(CpuWork{comp, stall, 0}));
+        l.run();
+        return l.now();
+    };
+    compute_end = run_all(1000, 0);
+    stall_end = run_all(0, 1000);
+    EXPECT_GT(compute_end, stall_end);
+}
+
+TEST(CoreScheduler, FifoQueueWhenOversubscribed)
+{
+    EventLoop loop;
+    CoreScheduler cpu(loop);
+    cpu.setAllowedCores(1);
+    std::vector<int> order;
+    auto burst = [&](int id) -> Task<void> {
+        co_await cpu.consume(CpuWork{100, 0, 0});
+        order.push_back(id);
+    };
+    for (int i = 0; i < 5; ++i)
+        loop.spawn(burst(i));
+    loop.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(CoreScheduler, TopologyMapping)
+{
+    EXPECT_EQ(CoreScheduler::socketOf(0), 0);
+    EXPECT_EQ(CoreScheduler::socketOf(7), 0);
+    EXPECT_EQ(CoreScheduler::socketOf(8), 1);
+    EXPECT_EQ(CoreScheduler::socketOf(15), 1);
+    EXPECT_EQ(CoreScheduler::socketOf(16), 0);
+    EXPECT_EQ(CoreScheduler::socketOf(24), 1);
+    EXPECT_EQ(CoreScheduler::siblingOf(0), 16);
+    EXPECT_EQ(CoreScheduler::siblingOf(16), 0);
+    EXPECT_EQ(CoreScheduler::siblingOf(15), 31);
+    EXPECT_EQ(CoreScheduler::physicalOf(16), 0);
+    EXPECT_EQ(CoreScheduler::physicalOf(31), 15);
+}
+
+TEST(SsdModel, BandwidthLimitsTransferTime)
+{
+    EventLoop loop;
+    SsdModel ssd(loop);
+    SimTime done = 0;
+    auto io = [&]() -> Task<void> {
+        co_await ssd.read(2500u << 20); // 2500 MB at 2500 MB/s = 1 s
+        done = loop.now();
+    };
+    loop.spawn(io());
+    loop.run();
+    const double secs = toSeconds(done);
+    EXPECT_NEAR(secs, 1.048, 0.01); // MiB vs MB plus base latency
+    EXPECT_EQ(ssd.bytesRead(), 2500ull << 20);
+}
+
+TEST(SsdModel, ReadLimitThrottles)
+{
+    EventLoop loop;
+    SsdModel ssd(loop);
+    ssd.setReadLimit(100e6); // 100 MB/s
+    SimTime done = 0;
+    auto io = [&]() -> Task<void> {
+        co_await ssd.read(uint64_t(100e6));
+        done = loop.now();
+    };
+    loop.spawn(io());
+    loop.run();
+    EXPECT_NEAR(toSeconds(done), 1.0, 0.01);
+}
+
+TEST(SsdModel, ConcurrentRequestsQueue)
+{
+    EventLoop loop;
+    SsdModel ssd(loop);
+    ssd.setReadLimit(100e6);
+    std::vector<SimTime> ends;
+    auto io = [&]() -> Task<void> {
+        co_await ssd.read(uint64_t(50e6)); // 0.5 s each at the limit
+        ends.push_back(loop.now());
+    };
+    loop.spawn(io());
+    loop.spawn(io());
+    loop.run();
+    ASSERT_EQ(ends.size(), 2u);
+    EXPECT_NEAR(toSeconds(ends[0]), 0.5, 0.01);
+    EXPECT_NEAR(toSeconds(ends[1]), 1.0, 0.01);
+}
+
+TEST(SsdModel, WritesIndependentOfReads)
+{
+    EventLoop loop;
+    SsdModel ssd(loop);
+    ssd.setReadLimit(10e6);
+    SimTime wdone = 0;
+    auto io = [&]() -> Task<void> {
+        co_await ssd.write(uint64_t(120e6)); // 0.1 s at 1200 MB/s
+        wdone = loop.now();
+    };
+    loop.spawn(io());
+    loop.run();
+    EXPECT_NEAR(toSeconds(wdone), 0.1, 0.01);
+}
+
+TEST(EventLoop, Determinism)
+{
+    auto run_once = [] {
+        EventLoop loop;
+        CoreScheduler cpu(loop);
+        cpu.setAllowedCores(4);
+        SsdModel ssd(loop);
+        uint64_t hash = 0;
+        auto session = [&](int id) -> Task<void> {
+            for (int i = 0; i < 20; ++i) {
+                co_await cpu.consume(CpuWork{double(100 + id * 13), 0, 0});
+                co_await ssd.read(4096);
+                hash = hash * 31 + uint64_t(loop.now()) + uint64_t(id);
+            }
+        };
+        for (int i = 0; i < 8; ++i)
+            loop.spawn(session(i));
+        loop.run();
+        return std::pair<uint64_t, uint64_t>{hash, loop.eventsDispatched()};
+    };
+    auto a = run_once();
+    auto b = run_once();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+} // namespace
+} // namespace dbsens

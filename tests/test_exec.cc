@@ -1,0 +1,501 @@
+/**
+ * @file
+ * Executor correctness tests: expressions, filters, joins (all
+ * types), aggregation, sort, scalar-subquery params, and profile
+ * accounting, verified against hand-computed results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "exec/executor.h"
+#include "opt/optimizer.h"
+#include "opt/plan_printer.h"
+
+namespace dbsens {
+namespace {
+
+/** Minimal in-memory table handle for tests. */
+struct TestTable : TableHandle
+{
+    std::unique_ptr<TableData> owned;
+    std::map<std::string, std::unique_ptr<BTree>> indexes;
+
+    BTree *
+    indexOn(const std::string &column) const override
+    {
+        auto it = indexes.find(column);
+        return it == indexes.end() ? nullptr : it->second.get();
+    }
+};
+
+class TestResolver : public TableResolver
+{
+  public:
+    TestTable &
+    add(const std::string &name, Schema schema)
+    {
+        auto t = std::make_unique<TestTable>();
+        t->name = name;
+        t->owned = std::make_unique<TableData>(std::move(schema));
+        t->data = t->owned.get();
+        auto &ref = *t;
+        tables_[name] = std::move(t);
+        return ref;
+    }
+
+    const TableHandle &
+    find(const std::string &name) const override
+    {
+        return *tables_.at(name);
+    }
+
+  private:
+    std::map<std::string, std::unique_ptr<TestTable>> tables_;
+};
+
+class ExecTest : public ::testing::Test
+{
+  protected:
+    ExecTest()
+    {
+        // orders(okey, custkey, total, status)
+        auto &orders = resolver.add(
+            "orders", Schema({{"okey", TypeId::Int64},
+                              {"custkey", TypeId::Int64},
+                              {"total", TypeId::Double},
+                              {"status", TypeId::String, 2}}));
+        for (int64_t i = 0; i < 100; ++i) {
+            orders.owned->append({i, i % 10, double(i) * 1.5,
+                                  i % 3 == 0 ? "F" : "O"});
+        }
+        // customer(ckey, name)
+        auto &cust = resolver.add("customer",
+                                  Schema({{"ckey", TypeId::Int64},
+                                          {"name", TypeId::String, 12}}));
+        for (int64_t i = 0; i < 10; ++i)
+            cust.owned->append({i, "CUST#" + std::to_string(i)});
+        // Index on customer.ckey for NL joins.
+        cust.indexes["ckey"] = std::make_unique<BTree>(
+            [this](uint64_t) { return nextPage++; }, VirtualRegion{});
+        for (int64_t i = 0; i < 10; ++i)
+            cust.indexes["ckey"]->insert(i, RowId(i));
+
+        ctx.resolver = &resolver;
+    }
+
+    Chunk
+    runPlan(PlanPtr plan)
+    {
+        Executor ex(ctx);
+        return ex.run(*plan);
+    }
+
+    TestResolver resolver;
+    ExecContext ctx;
+    PageId nextPage = 0;
+};
+
+TEST_F(ExecTest, ScanProducesAllColumns)
+{
+    auto plan =
+        PlanBuilder::scan("orders", {"okey", "total", "status"}).build();
+    Chunk out = runPlan(std::move(plan));
+    EXPECT_EQ(out.rows(), 100u);
+    EXPECT_EQ(out.columnCount(), 3u);
+    EXPECT_EQ(out.byName("okey").intAt(5), 5);
+    EXPECT_DOUBLE_EQ(out.byName("total").doubleAt(4), 6.0);
+    EXPECT_EQ(out.byName("status").stringAt(0), "F");
+}
+
+TEST_F(ExecTest, ScanSkipsDeletedRows)
+{
+    auto &t = const_cast<TableData &>(
+        *resolver.find("orders").data);
+    t.markDeleted(0);
+    t.markDeleted(99);
+    auto plan = PlanBuilder::scan("orders", {"okey"}).build();
+    Chunk out = runPlan(std::move(plan));
+    EXPECT_EQ(out.rows(), 98u);
+    EXPECT_EQ(out.byName("okey").intAt(0), 1);
+}
+
+TEST_F(ExecTest, ScanPrefixRenames)
+{
+    auto plan = PlanBuilder::scan("orders", {"okey"}, "x_").build();
+    Chunk out = runPlan(std::move(plan));
+    EXPECT_GE(out.find("x_okey"), 0);
+}
+
+TEST_F(ExecTest, FilterNumericAndString)
+{
+    auto plan = PlanBuilder::scan("orders", {"okey", "status"})
+                    .filter(land(lt(col("okey"), lit(10)),
+                                 eq(col("status"), lit("F"))))
+                    .build();
+    Chunk out = runPlan(std::move(plan));
+    // okey < 10 and okey % 3 == 0: 0, 3, 6, 9.
+    EXPECT_EQ(out.rows(), 4u);
+    EXPECT_EQ(out.byName("okey").intAt(1), 3);
+}
+
+TEST_F(ExecTest, FilterLikeAndInList)
+{
+    auto plan = PlanBuilder::scan("customer", {"ckey", "name"})
+                    .filter(like("name", "CUST#1%"))
+                    .build();
+    Chunk out = runPlan(std::move(plan));
+    EXPECT_EQ(out.rows(), 1u); // only CUST#1 (single digit keys)
+
+    auto plan2 = PlanBuilder::scan("customer", {"ckey", "name"})
+                     .filter(inList("name", {"CUST#2", "CUST#7"}))
+                     .build();
+    Chunk out2 = runPlan(std::move(plan2));
+    EXPECT_EQ(out2.rows(), 2u);
+}
+
+TEST_F(ExecTest, ProjectComputesExpressions)
+{
+    auto plan =
+        PlanBuilder::scan("orders", {"okey", "total"})
+            .project({{col("okey"), "okey"},
+                      {mul(col("total"), lit(2.0)), "double_total"}})
+            .build();
+    Chunk out = runPlan(std::move(plan));
+    EXPECT_EQ(out.columnCount(), 2u);
+    EXPECT_DOUBLE_EQ(out.byName("double_total").doubleAt(4), 12.0);
+}
+
+TEST_F(ExecTest, HashJoinInner)
+{
+    auto plan = PlanBuilder::scan("orders", {"okey", "custkey"})
+                    .join(PlanBuilder::scan("customer", {"ckey", "name"}),
+                          JoinType::Inner, {"custkey"}, {"ckey"})
+                    .build();
+    Chunk out = runPlan(std::move(plan));
+    EXPECT_EQ(out.rows(), 100u); // every order has a customer
+    // Verify a specific pairing.
+    for (size_t i = 0; i < out.rows(); ++i) {
+        EXPECT_EQ(out.byName("custkey").intAt(i),
+                  out.byName("ckey").intAt(i));
+    }
+    EXPECT_EQ(out.byName("name").stringAt(0),
+              "CUST#" + std::to_string(out.byName("custkey").intAt(0)));
+}
+
+TEST_F(ExecTest, HashJoinCompositeKey)
+{
+    // Join orders with itself on (okey, custkey) via two scans.
+    auto plan =
+        PlanBuilder::scan("orders", {"okey", "custkey"})
+            .join(PlanBuilder::scan("orders", {"okey", "custkey"}, "r_"),
+                  JoinType::Inner, {"okey", "custkey"},
+                  {"r_okey", "r_custkey"})
+            .build();
+    Chunk out = runPlan(std::move(plan));
+    EXPECT_EQ(out.rows(), 100u); // exact self-match only
+}
+
+TEST_F(ExecTest, SemiAndAntiJoin)
+{
+    // Customers with at least one order with total > 135.
+    auto semi =
+        PlanBuilder::scan("customer", {"ckey"})
+            .join(PlanBuilder::scan("orders", {"okey", "custkey", "total"})
+                      .filter(gt(col("total"), lit(135.0))),
+                  JoinType::LeftSemi, {"ckey"}, {"custkey"})
+            .build();
+    Chunk out = runPlan(std::move(semi));
+    // total = 1.5*okey > 135 => okey > 90 => custkeys 1..9 (91..99).
+    EXPECT_EQ(out.rows(), 9u);
+
+    auto anti =
+        PlanBuilder::scan("customer", {"ckey"})
+            .join(PlanBuilder::scan("orders", {"okey", "custkey", "total"})
+                      .filter(gt(col("total"), lit(135.0))),
+                  JoinType::LeftAnti, {"ckey"}, {"custkey"})
+            .build();
+    Chunk out2 = runPlan(std::move(anti));
+    EXPECT_EQ(out2.rows(), 1u);
+    ASSERT_EQ(out2.rows(), 1u);
+    EXPECT_EQ(out2.byName("ckey").intAt(0), 0); // custkey 0 max okey 90
+}
+
+TEST_F(ExecTest, LeftOuterJoinMarksMatches)
+{
+    // Orders with total > 147 exist only for custkey 9 (okey 99).
+    auto plan =
+        PlanBuilder::scan("customer", {"ckey"})
+            .join(PlanBuilder::scan("orders", {"okey", "custkey", "total"})
+                      .filter(gt(col("total"), lit(147.0))),
+                  JoinType::LeftOuter, {"ckey"}, {"custkey"})
+            .build();
+    Chunk out = runPlan(std::move(plan));
+    EXPECT_EQ(out.rows(), 10u);
+    int64_t matched = 0;
+    for (size_t i = 0; i < out.rows(); ++i)
+        matched += out.byName("__matched").intAt(i);
+    EXPECT_EQ(matched, 1);
+}
+
+TEST_F(ExecTest, IndexNLJoinMatchesHashJoin)
+{
+    auto nl = std::make_unique<PlanNode>();
+    nl->kind = PlanKind::IndexNLJoin;
+    nl->table = "customer";
+    nl->columns = {"ckey", "name"};
+    nl->leftKeys = {"custkey"};
+    nl->rightKeys = {"ckey"};
+    nl->children.push_back(
+        PlanBuilder::scan("orders", {"okey", "custkey"}).build());
+    Chunk out = runPlan(std::move(nl));
+    EXPECT_EQ(out.rows(), 100u);
+    for (size_t i = 0; i < out.rows(); ++i)
+        EXPECT_EQ(out.byName("custkey").intAt(i),
+                  out.byName("ckey").intAt(i));
+}
+
+TEST_F(ExecTest, AggregateSumAvgCountMinMax)
+{
+    auto plan = PlanBuilder::scan("orders", {"custkey", "total"})
+                    .aggregate({"custkey"},
+                               {aggSum(col("total"), "s"),
+                                aggAvg(col("total"), "a"),
+                                aggCount("c"),
+                                aggMin(col("total"), "mn"),
+                                aggMax(col("total"), "mx")})
+                    .orderBy({{"custkey", false}})
+                    .build();
+    Chunk out = runPlan(std::move(plan));
+    EXPECT_EQ(out.rows(), 10u);
+    // custkey 0: orders 0,10,...,90 => totals 0,15,...,135.
+    EXPECT_EQ(out.byName("custkey").intAt(0), 0);
+    EXPECT_DOUBLE_EQ(out.byName("s").doubleAt(0), 675.0);
+    EXPECT_DOUBLE_EQ(out.byName("a").doubleAt(0), 67.5);
+    EXPECT_DOUBLE_EQ(out.byName("c").doubleAt(0), 10.0);
+    EXPECT_DOUBLE_EQ(out.byName("mn").doubleAt(0), 0.0);
+    EXPECT_DOUBLE_EQ(out.byName("mx").doubleAt(0), 135.0);
+}
+
+TEST_F(ExecTest, GlobalAggregateOnEmptyInput)
+{
+    auto plan = PlanBuilder::scan("orders", {"okey"})
+                    .filter(lt(col("okey"), lit(-1)))
+                    .aggregate({}, {aggCount("c"),
+                                    aggSum(col("okey"), "s")})
+                    .build();
+    Chunk out = runPlan(std::move(plan));
+    EXPECT_EQ(out.rows(), 1u);
+    EXPECT_DOUBLE_EQ(out.byName("c").doubleAt(0), 0.0);
+    EXPECT_DOUBLE_EQ(out.byName("s").doubleAt(0), 0.0);
+}
+
+TEST_F(ExecTest, CountDistinct)
+{
+    auto plan = PlanBuilder::scan("orders", {"status", "custkey"})
+                    .aggregate({"status"},
+                               {aggCountDistinct(col("custkey"), "d")})
+                    .orderBy({{"status", false}})
+                    .build();
+    Chunk out = runPlan(std::move(plan));
+    EXPECT_EQ(out.rows(), 2u);
+    // Both status groups cover all 10 custkeys.
+    EXPECT_DOUBLE_EQ(out.byName("d").doubleAt(0), 10.0);
+    EXPECT_DOUBLE_EQ(out.byName("d").doubleAt(1), 10.0);
+}
+
+TEST_F(ExecTest, SortAscDescAndStrings)
+{
+    auto plan = PlanBuilder::scan("orders", {"okey", "status"})
+                    .orderBy({{"status", false}, {"okey", true}})
+                    .build();
+    Chunk out = runPlan(std::move(plan));
+    EXPECT_EQ(out.byName("status").stringAt(0), "F");
+    EXPECT_EQ(out.byName("okey").intAt(0), 99); // largest F okey
+    EXPECT_EQ(out.byName("status").stringAt(out.rows() - 1), "O");
+}
+
+TEST_F(ExecTest, TopNLimits)
+{
+    auto plan = PlanBuilder::scan("orders", {"okey"})
+                    .topN({{"okey", true}}, 5)
+                    .build();
+    Chunk out = runPlan(std::move(plan));
+    ASSERT_EQ(out.rows(), 5u);
+    EXPECT_EQ(out.byName("okey").intAt(0), 99);
+    EXPECT_EQ(out.byName("okey").intAt(4), 95);
+}
+
+TEST_F(ExecTest, ScalarSubqueryParam)
+{
+    // Orders with total above the global average.
+    auto plan =
+        PlanBuilder::scan("orders", {"okey", "total"})
+            .filter(gt(col("total"), param("avg_total")))
+            .withParam("avg_total",
+                       PlanBuilder::scan("orders", {"total"})
+                           .aggregate({}, {aggAvg(col("total"), "a")}))
+            .build();
+    Chunk out = runPlan(std::move(plan));
+    // avg total = 1.5 * 49.5 = 74.25; okey > 49.5 => 50 rows.
+    EXPECT_EQ(out.rows(), 50u);
+}
+
+TEST_F(ExecTest, CaseWhenAndYear)
+{
+    const int64_t d2020 = dateToDays(2020, 6, 1);
+    const int64_t d2021 = dateToDays(2021, 2, 1);
+    auto &t = resolver.add("events", Schema({{"d", TypeId::Int64}}));
+    t.owned->append({d2020});
+    t.owned->append({d2021});
+    auto plan =
+        PlanBuilder::scan("events", {"d"})
+            .project({{yearOf(col("d")), "y"},
+                      {caseWhen(eq(yearOf(col("d")), lit(2020)),
+                                lit(1.0), lit(0.0)),
+                       "is2020"}})
+            .build();
+    Chunk out = runPlan(std::move(plan));
+    EXPECT_DOUBLE_EQ(out.byName("y").doubleAt(0), 2020.0);
+    EXPECT_DOUBLE_EQ(out.byName("y").doubleAt(1), 2021.0);
+    EXPECT_DOUBLE_EQ(out.byName("is2020").doubleAt(0), 1.0);
+    EXPECT_DOUBLE_EQ(out.byName("is2020").doubleAt(1), 0.0);
+}
+
+TEST_F(ExecTest, ProfileRecordsOpsInExecutionOrder)
+{
+    QueryProfile profile;
+    ctx.profile = &profile;
+    auto plan = PlanBuilder::scan("orders", {"okey", "custkey"})
+                    .join(PlanBuilder::scan("customer", {"ckey"}),
+                          JoinType::Inner, {"custkey"}, {"ckey"})
+                    .aggregate({}, {aggCount("c")})
+                    .build();
+    runPlan(std::move(plan));
+    ASSERT_GE(profile.ops.size(), 5u);
+    EXPECT_EQ(profile.ops[0].label, "Scan(orders)");
+    EXPECT_EQ(profile.ops[1].label, "Scan(customer)");
+    EXPECT_NE(profile.ops[2].label.find("HashBuild"), std::string::npos);
+    EXPECT_NE(profile.ops[3].label.find("HashProbe"), std::string::npos);
+    EXPECT_GT(profile.totalInstructions(), 0.0);
+    // Build side records memory demand.
+    EXPECT_GT(profile.ops[2].memRequired, 0u);
+}
+
+TEST(LikeMatchTest, Patterns)
+{
+    EXPECT_TRUE(likeMatch("lemonade", "lemon%"));
+    EXPECT_FALSE(likeMatch("alemon", "lemon%"));
+    EXPECT_TRUE(likeMatch("hot lemon tea", "%lemon%"));
+    EXPECT_TRUE(likeMatch("STEEL BRASS", "%BRASS"));
+    EXPECT_FALSE(likeMatch("BRASS STEEL", "%BRASS"));
+    EXPECT_TRUE(likeMatch("a special deal requests x",
+                          "%special%requests%"));
+    EXPECT_FALSE(likeMatch("requests special", "%special%requests%"));
+    EXPECT_TRUE(likeMatch("exact", "exact"));
+    EXPECT_FALSE(likeMatch("exactx", "exact"));
+    EXPECT_TRUE(likeMatch("", "%"));
+}
+
+TEST(YearOfDaysTest, KnownDates)
+{
+    EXPECT_EQ(yearOfDays(dateToDays(1995, 1, 1)), 1995);
+    EXPECT_EQ(yearOfDays(dateToDays(1995, 12, 31)), 1995);
+    EXPECT_EQ(yearOfDays(dateToDays(1996, 1, 1)), 1996);
+    EXPECT_EQ(yearOfDays(0), 1970);
+    EXPECT_EQ(yearOfDays(dateToDays(2000, 2, 29)), 2000);
+}
+
+TEST_F(ExecTest, OptimizerChoosesSerialForTinyPlans)
+{
+    auto plan = PlanBuilder::scan("orders", {"okey"})
+                    .filter(lt(col("okey"), lit(10)))
+                    .build();
+    Optimizer opt(resolver, {.maxdop = 32, .serialThreshold = 1e6});
+    opt.optimize(*plan);
+    EXPECT_FALSE(opt.lastPlanParallel());
+    EXPECT_FALSE(plan->parallel);
+}
+
+TEST_F(ExecTest, OptimizerGoesParallelAboveThreshold)
+{
+    auto plan = PlanBuilder::scan("orders", {"okey", "custkey"})
+                    .join(PlanBuilder::scan("customer", {"ckey"}),
+                          JoinType::Inner, {"custkey"}, {"ckey"})
+                    .build();
+    Optimizer opt(resolver, {.maxdop = 32, .serialThreshold = 1.0});
+    opt.optimize(*plan);
+    EXPECT_TRUE(opt.lastPlanParallel());
+    EXPECT_TRUE(plan->parallel);
+    // Exchanges inserted under the parallel join.
+    const std::string sig = planSignature(*plan);
+    EXPECT_NE(sig.find("X"), std::string::npos);
+}
+
+TEST_F(ExecTest, OptimizerRewritesToIndexJoinAtHighDop)
+{
+    // A selective outer (Eq filter) makes the index NL join cheaper
+    // than building a hash table over the whole inner at high DOP.
+    auto make = [] {
+        return PlanBuilder::scan("orders", {"okey", "custkey", "status"})
+            .filter(eq(col("okey"), lit(42)))
+            .join(PlanBuilder::scan("customer", {"ckey", "name"}),
+                  JoinType::Inner, {"custkey"}, {"ckey"})
+            .build();
+    };
+    auto plan = make();
+    Optimizer opt32(resolver, {.maxdop = 32, .serialThreshold = 1.0});
+    opt32.optimize(*plan);
+    EXPECT_NE(planSignature(*plan).find("NL(customer)"),
+              std::string::npos);
+
+    // Serial optimization keeps the hash join.
+    auto plan1 = make();
+    Optimizer opt1(resolver, {.maxdop = 1, .serialThreshold = 1.0});
+    opt1.optimize(*plan1);
+    EXPECT_EQ(planSignature(*plan1).find("NL("), std::string::npos);
+}
+
+TEST_F(ExecTest, RewrittenIndexJoinExecutesCorrectly)
+{
+    auto plan = PlanBuilder::scan("orders", {"okey", "custkey"})
+                    .join(PlanBuilder::scan("customer", {"ckey", "name"}),
+                          JoinType::Inner, {"custkey"}, {"ckey"})
+                    .build();
+    Optimizer opt(resolver, {.maxdop = 32, .serialThreshold = 1.0});
+    opt.optimize(*plan);
+    Chunk out = runPlan(std::move(plan));
+    EXPECT_EQ(out.rows(), 100u);
+    EXPECT_GE(out.find("name"), 0);
+}
+
+TEST_F(ExecTest, PlanPrinterShowsParallelMarkers)
+{
+    auto plan = PlanBuilder::scan("orders", {"okey", "custkey"})
+                    .join(PlanBuilder::scan("customer", {"ckey"}),
+                          JoinType::Inner, {"custkey"}, {"ckey"})
+                    .build();
+    Optimizer opt(resolver, {.maxdop = 32, .serialThreshold = 1.0});
+    opt.optimize(*plan);
+    const std::string s = planToString(*plan);
+    EXPECT_NE(s.find("<=>"), std::string::npos);
+    EXPECT_NE(s.find("Scan orders"), std::string::npos);
+}
+
+TEST_F(ExecTest, ClonePlanIsDeepAndEquivalent)
+{
+    auto plan = PlanBuilder::scan("orders", {"okey", "custkey"})
+                    .filter(lt(col("okey"), lit(50)))
+                    .aggregate({"custkey"}, {aggCount("c")})
+                    .build();
+    auto copy = clonePlan(*plan);
+    EXPECT_EQ(planSignature(*plan), planSignature(*copy));
+    Chunk a = runPlan(std::move(plan));
+    Chunk b = runPlan(std::move(copy));
+    EXPECT_EQ(a.rows(), b.rows());
+}
+
+} // namespace
+} // namespace dbsens

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit and property tests for the CAT-capable LLC simulator and the
+ * virtual address space / trace plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "hw/cache_feed.h"
+#include "hw/llc_sim.h"
+#include "hw/virtual_space.h"
+
+namespace dbsens {
+namespace {
+
+TEST(LlcSim, GeometryMatchesPaperTestbed)
+{
+    EXPECT_EQ(LlcSim::kWays, 20);
+    // 20 MB / (64 B * 20 ways) = 16384 sets.
+    EXPECT_EQ(LlcSim::kSets, 16384);
+}
+
+TEST(LlcSim, RepeatAccessHits)
+{
+    LlcSim llc;
+    EXPECT_FALSE(llc.access(0, 0x1000));
+    EXPECT_TRUE(llc.access(0, 0x1000));
+    EXPECT_TRUE(llc.access(0, 0x1038)); // same 64B line
+    EXPECT_FALSE(llc.access(0, 0x1040)); // next line
+    EXPECT_EQ(llc.accesses(), 4u);
+    EXPECT_EQ(llc.misses(), 2u);
+}
+
+TEST(LlcSim, SocketsAreIndependent)
+{
+    LlcSim llc;
+    EXPECT_FALSE(llc.access(0, 0x2000));
+    EXPECT_FALSE(llc.access(1, 0x2000));
+    EXPECT_TRUE(llc.access(0, 0x2000));
+    EXPECT_TRUE(llc.access(1, 0x2000));
+}
+
+TEST(LlcSim, AgedInsertionEvictsNeverRehitLinesFirst)
+{
+    // Scan-resistant policy: a line that has been re-referenced (hit)
+    // is promoted; never-rehit lines are the preferred victims.
+    LlcSim llc;
+    llc.setWayMask(0x3); // 2 ways allowed
+    const uint64_t set_stride = uint64_t(LlcSim::kSets) * 64;
+    EXPECT_FALSE(llc.access(0, 0));              // A (aged)
+    EXPECT_FALSE(llc.access(0, set_stride));     // B (aged)
+    EXPECT_TRUE(llc.access(0, set_stride));      // hit B -> promoted
+    EXPECT_FALSE(llc.access(0, 2 * set_stride)); // C evicts A (oldest)
+    EXPECT_TRUE(llc.access(0, set_stride));      // B survives the scan
+    EXPECT_FALSE(llc.access(0, 0));              // A was evicted
+}
+
+TEST(LlcSim, FullMaskUsesAllWays)
+{
+    LlcSim llc;
+    const uint64_t set_stride = uint64_t(LlcSim::kSets) * 64;
+    for (int i = 0; i < LlcSim::kWays; ++i)
+        EXPECT_FALSE(llc.access(0, uint64_t(i) * set_stride));
+    // All 20 distinct lines fit in the 20 ways.
+    for (int i = 0; i < LlcSim::kWays; ++i)
+        EXPECT_TRUE(llc.access(0, uint64_t(i) * set_stride));
+    // A 21st line evicts exactly one of them.
+    EXPECT_FALSE(llc.access(0, 20ull * set_stride));
+    int hits = 0;
+    for (int i = 0; i < LlcSim::kWays; ++i)
+        hits += llc.access(0, uint64_t(i) * set_stride) ? 1 : 0;
+    EXPECT_EQ(hits, LlcSim::kWays - 1);
+}
+
+TEST(LlcSim, HitsOutsideMaskStillHit)
+{
+    // CAT semantics: restricting the mask does not invalidate lines
+    // already resident in other ways.
+    LlcSim llc;
+    llc.setWayMask((1u << LlcSim::kWays) - 1);
+    llc.access(0, 0x5000); // fills some way under the full mask
+    llc.setWayMask(0x1);   // restrict to one way
+    EXPECT_TRUE(llc.access(0, 0x5000));
+}
+
+TEST(LlcSim, AllocationMbMapsToWays)
+{
+    LlcSim llc;
+    llc.setTotalAllocationMb(2);
+    EXPECT_EQ(llc.allowedWays(), 1);
+    llc.setTotalAllocationMb(40);
+    EXPECT_EQ(llc.allowedWays(), 20);
+    llc.setTotalAllocationMb(12);
+    EXPECT_EQ(llc.allowedWays(), 6);
+}
+
+class LlcMissCurve : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LlcMissCurve, MissRateDecreasesMonotonicallyWithAllocation)
+{
+    // Property: for a Zipf-skewed working set larger than the cache,
+    // a bigger CAT allocation never increases the miss rate
+    // (stack/inclusion property of LRU with growing way sets).
+    const int working_set_mb = GetParam();
+    const uint64_t lines =
+        uint64_t(working_set_mb) << 20 >> 6; // lines in working set
+    Rng rng(1234);
+    ZipfSampler zipf(lines, 0.7);
+    std::vector<uint64_t> trace;
+    trace.reserve(200000);
+    for (int i = 0; i < 200000; ++i)
+        trace.push_back(zipf(rng) * 64);
+
+    double last_rate = 1.1;
+    for (int mb = 2; mb <= 40; mb += 6) {
+        LlcSim llc;
+        llc.setTotalAllocationMb(mb);
+        uint64_t miss = 0;
+        for (uint64_t a : trace)
+            if (!llc.access(socketOfAddr(a), a))
+                ++miss;
+        const double rate = double(miss) / double(trace.size());
+        EXPECT_LE(rate, last_rate + 0.01)
+            << "alloc " << mb << " MB regressed";
+        last_rate = rate;
+    }
+    // And the full allocation must beat the smallest one clearly for
+    // working sets that fit.
+    if (working_set_mb <= 36) {
+        EXPECT_LT(last_rate, 0.9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkingSets, LlcMissCurve,
+                         ::testing::Values(8, 24, 64, 256));
+
+TEST(LlcSim, ResetClearsContents)
+{
+    LlcSim llc;
+    llc.access(0, 0x9000);
+    llc.reset();
+    EXPECT_FALSE(llc.access(0, 0x9000));
+    EXPECT_EQ(llc.accesses(), 1u);
+}
+
+TEST(VirtualSpace, RegionsAreDisjointAndScaled)
+{
+    VirtualSpace vs;
+    const auto r1 = vs.allocateScaled(1000);
+    const auto r2 = vs.allocateScaled(2000);
+    EXPECT_GE(r2.base, r1.base + r1.size);
+    EXPECT_GE(r1.size, 1000 * calib::kScaleK);
+    EXPECT_GE(r2.size, 2000 * calib::kScaleK);
+}
+
+TEST(VirtualSpace, ElementAddressesSpreadAcrossRegion)
+{
+    VirtualSpace vs;
+    const auto r = vs.allocateFullScale(1 << 20);
+    const uint64_t a0 = r.elementAddr(0, 1024);
+    const uint64_t a1 = r.elementAddr(1, 1024);
+    const uint64_t alast = r.elementAddr(1023, 1024);
+    EXPECT_EQ(a0, r.base);
+    EXPECT_EQ(a1 - a0, r.size / 1024);
+    EXPECT_LT(alast, r.base + r.size);
+}
+
+TEST(AccessTrace, RecordsAndThins)
+{
+    AccessTrace trace(1024);
+    for (uint64_t i = 0; i < 100000; ++i)
+        trace.add(i * 64);
+    EXPECT_EQ(trace.total(), 100000u);
+    EXPECT_LE(trace.addrs().size(), 1024u);
+    EXPECT_GT(trace.addrs().size(), 200u);
+    EXPECT_NEAR(trace.keepRatio(),
+                double(trace.addrs().size()) / 100000.0, 1e-9);
+}
+
+TEST(AccessTrace, ReplayMissRateSeesLocality)
+{
+    // A trace that loops over a tiny working set must have a near-zero
+    // miss rate after warmup; a streaming trace must miss ~always.
+    AccessTrace hot;
+    for (int rep = 0; rep < 100; ++rep)
+        for (uint64_t i = 0; i < 100; ++i)
+            hot.add(i * 64);
+    LlcSim llc;
+    EXPECT_LT(hot.replayMissRate(llc), 0.05);
+
+    AccessTrace streaming;
+    for (uint64_t i = 0; i < 100000; ++i)
+        streaming.add(i * 64 * 131); // distinct lines
+    LlcSim llc2;
+    EXPECT_GT(streaming.replayMissRate(llc2), 0.9);
+}
+
+TEST(CacheFeeds, LiveFeedCountsMisses)
+{
+    LlcSim llc;
+    LiveCacheFeed feed(llc);
+    feed.touch(0x100);
+    feed.touch(0x100);
+    EXPECT_EQ(feed.accesses(), 2u);
+    EXPECT_EQ(feed.misses(), 1u);
+}
+
+TEST(CacheFeeds, NullFeedOnlyCounts)
+{
+    NullCacheFeed feed;
+    feed.touch(1);
+    feed.touch(2);
+    EXPECT_EQ(feed.accesses(), 2u);
+    EXPECT_EQ(feed.misses(), 0u);
+}
+
+} // namespace
+} // namespace dbsens

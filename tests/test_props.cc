@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Property-based tests (parameterized over seeds) for executor
+ * algebra and system invariants:
+ *  - filter conjunction splitting, filter/project commutation,
+ *    join input-order result equivalence;
+ *  - hash join vs index-nested-loops result equivalence;
+ *  - 2PL money conservation under concurrent random transfers;
+ *  - OLAP replay determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "engine/database.h"
+#include "engine/query_runner.h"
+#include "core/table_printer.h"
+#include "engine/txn_ctx.h"
+
+namespace dbsens {
+namespace {
+
+std::unique_ptr<Database>
+randomDb(uint64_t seed, uint64_t rows)
+{
+    auto db = std::make_unique<Database>("prop");
+    TableDef f;
+    f.name = "fact";
+    f.schema = Schema({{"f_k", TypeId::Int64},
+                       {"f_d", TypeId::Int64},
+                       {"f_v", TypeId::Double}});
+    f.layout = StorageLayout::ColumnStore;
+    f.expectedRows = rows;
+    auto &fact = db->createTable(f);
+    Rng rng(seed);
+    for (uint64_t i = 0; i < rows; ++i)
+        fact.data->append({int64_t(rng.uniform(200)),
+                           int64_t(rng.uniform(50)),
+                           rng.uniformReal() * 100});
+    TableDef d;
+    d.name = "dim";
+    d.schema = Schema({{"d_k", TypeId::Int64},
+                       {"d_g", TypeId::Int64}});
+    d.layout = StorageLayout::ColumnStore;
+    d.expectedRows = 200;
+    d.indexColumns = {"d_k"};
+    auto &dim = db->createTable(d);
+    for (int i = 0; i < 200; ++i)
+        dim.data->append({int64_t(i), int64_t(i % 9)});
+    db->finishLoad();
+    return db;
+}
+
+Chunk
+runOn(Database &db, PlanPtr plan)
+{
+    ExecContext ctx;
+    ctx.resolver = &db;
+    Executor ex(ctx);
+    return ex.run(*plan);
+}
+
+/** Multiset of rows as sorted strings (order-insensitive compare). */
+std::multiset<std::string>
+rowBag(const Chunk &c)
+{
+    std::multiset<std::string> bag;
+    for (size_t r = 0; r < c.rows(); ++r) {
+        std::string key;
+        for (size_t col = 0; col < c.columnCount(); ++col) {
+            const Value v = c.col(col).valueAt(r);
+            key += v.isDouble()
+                       ? formatFixed(v.asDouble(), 6)
+                       : v.toString();
+            key += "|";
+        }
+        bag.insert(key);
+    }
+    return bag;
+}
+
+class ExecProps : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ExecProps, FilterConjunctionSplitsEquivalently)
+{
+    auto db = randomDb(GetParam(), 20000);
+    auto both = PlanBuilder::scan("fact", {"f_k", "f_d", "f_v"})
+                    .filter(land(lt(col("f_k"), lit(100)),
+                                 gt(col("f_v"), lit(30.0))))
+                    .build();
+    auto split = PlanBuilder::scan("fact", {"f_k", "f_d", "f_v"})
+                     .filter(lt(col("f_k"), lit(100)))
+                     .filter(gt(col("f_v"), lit(30.0)))
+                     .build();
+    EXPECT_EQ(rowBag(runOn(*db, std::move(both))),
+              rowBag(runOn(*db, std::move(split))));
+}
+
+TEST_P(ExecProps, FilterCommutesWithProjectionPassThrough)
+{
+    auto db = randomDb(GetParam(), 20000);
+    auto before = PlanBuilder::scan("fact", {"f_k", "f_v"})
+                      .filter(lt(col("f_k"), lit(50)))
+                      .project({{col("f_k"), "k"},
+                                {col("f_v"), "v"}})
+                      .build();
+    auto after = PlanBuilder::scan("fact", {"f_k", "f_v"})
+                     .project({{col("f_k"), "k"},
+                               {col("f_v"), "v"}})
+                     .filter(lt(col("k"), lit(50)))
+                     .build();
+    EXPECT_EQ(rowBag(runOn(*db, std::move(before))),
+              rowBag(runOn(*db, std::move(after))));
+}
+
+TEST_P(ExecProps, JoinResultIndependentOfProbeBuildRoles)
+{
+    auto db = randomDb(GetParam(), 20000);
+    // fact JOIN dim vs dim JOIN fact: same row multiset (column
+    // order differs, so compare on a canonical projection).
+    auto a = PlanBuilder::scan("fact", {"f_k", "f_v"})
+                 .join(PlanBuilder::scan("dim", {"d_k", "d_g"}),
+                       JoinType::Inner, {"f_k"}, {"d_k"})
+                 .project({{col("f_k"), "k"},
+                           {col("d_g"), "g"},
+                           {col("f_v"), "v"}})
+                 .build();
+    auto b = PlanBuilder::scan("dim", {"d_k", "d_g"})
+                 .join(PlanBuilder::scan("fact", {"f_k", "f_v"}),
+                       JoinType::Inner, {"d_k"}, {"f_k"})
+                 .project({{col("f_k"), "k"},
+                           {col("d_g"), "g"},
+                           {col("f_v"), "v"}})
+                 .build();
+    EXPECT_EQ(rowBag(runOn(*db, std::move(a))),
+              rowBag(runOn(*db, std::move(b))));
+}
+
+TEST_P(ExecProps, HashJoinEqualsIndexNestedLoops)
+{
+    auto db = randomDb(GetParam(), 20000);
+    auto hash = PlanBuilder::scan("fact", {"f_k", "f_v"})
+                    .join(PlanBuilder::scan("dim", {"d_k", "d_g"}),
+                          JoinType::Inner, {"f_k"}, {"d_k"})
+                    .build();
+    auto nl = std::make_unique<PlanNode>();
+    nl->kind = PlanKind::IndexNLJoin;
+    nl->table = "dim";
+    nl->columns = {"d_k", "d_g"};
+    nl->leftKeys = {"f_k"};
+    nl->rightKeys = {"d_k"};
+    nl->children.push_back(
+        PlanBuilder::scan("fact", {"f_k", "f_v"}).build());
+    EXPECT_EQ(rowBag(runOn(*db, std::move(hash))),
+              rowBag(runOn(*db, std::move(nl))));
+}
+
+TEST_P(ExecProps, AggregateTotalsMatchUnfilteredSum)
+{
+    auto db = randomDb(GetParam(), 20000);
+    // Sum partitioned by group == global sum.
+    auto grouped = PlanBuilder::scan("fact", {"f_d", "f_v"})
+                       .aggregate({"f_d"}, {aggSum(col("f_v"), "s")})
+                       .build();
+    auto global = PlanBuilder::scan("fact", {"f_v"})
+                      .aggregate({}, {aggSum(col("f_v"), "s")})
+                      .build();
+    Chunk g = runOn(*db, std::move(grouped));
+    Chunk t = runOn(*db, std::move(global));
+    double partitioned = 0;
+    for (size_t r = 0; r < g.rows(); ++r)
+        partitioned += g.byName("s").doubleAt(r);
+    EXPECT_NEAR(partitioned, t.byName("s").doubleAt(0), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecProps,
+                         ::testing::Values(11, 23, 37, 59, 71));
+
+class TxnProps : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(TxnProps, ConcurrentTransfersConserveMoney)
+{
+    // Strict 2PL invariant: random concurrent transfers between
+    // accounts never create or destroy money.
+    Database db("bank");
+    TableDef def;
+    def.name = "acct";
+    def.schema = Schema({{"a_id", TypeId::Int64},
+                         {"a_bal", TypeId::Double}});
+    def.expectedRows = 256;
+    def.indexColumns = {"a_id"};
+    auto &t = db.createTable(def);
+    const int n = 200;
+    for (int i = 0; i < n; ++i)
+        t.data->append({int64_t(i), 1000.0});
+    db.finishLoad();
+
+    RunConfig cfg;
+    cfg.cores = 8;
+    cfg.duration = milliseconds(20);
+    SimRun run(db, cfg);
+
+    auto session = [&](uint64_t seed) -> Task<void> {
+        Rng rng(seed);
+        while (run.running()) {
+            TxnCtx tx(run, run.allocTxnId());
+            int64_t a = rng.range(0, n - 1);
+            int64_t b = rng.range(0, n - 1);
+            if (a == b)
+                b = (b + 1) % n;
+            if (b < a)
+                std::swap(a, b); // ordered: no deadlocks
+            RowId ra, rb;
+            bool ok =
+                co_await tx.seekRow(t, "a_id", a, LockMode::U, &ra) &&
+                co_await tx.lockRow(t, ra, LockMode::X) &&
+                co_await tx.seekRow(t, "a_id", b, LockMode::U, &rb) &&
+                co_await tx.lockRow(t, rb, LockMode::X);
+            if (ok) {
+                const double amt = double(rng.uniform(50));
+                const double ba = t.data->column("a_bal").getDouble(ra);
+                const double bb = t.data->column("a_bal").getDouble(rb);
+                co_await tx.updateRow(t, ra, "a_bal", Value(ba - amt));
+                co_await tx.updateRow(t, rb, "a_bal", Value(bb + amt));
+                co_await tx.commit();
+            } else {
+                co_await tx.rollback();
+            }
+        }
+    };
+    for (int s = 0; s < 16; ++s)
+        run.loop.spawn(session(GetParam() * 131 + uint64_t(s)));
+    run.runToCompletion();
+
+    double total = 0;
+    for (RowId r = 0; r < t.data->rowCount(); ++r)
+        total += t.data->column("a_bal").getDouble(r);
+    EXPECT_NEAR(total, 1000.0 * n, 1e-6);
+    EXPECT_GT(run.txnsCommitted, 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TxnProps, ::testing::Values(1, 5, 13));
+
+TEST(ReplayProps, OlapStreamRunIsDeterministic)
+{
+    auto once = [] {
+        auto db = randomDb(3, 60000);
+        ProfilingEnv env(*db);
+        auto plan = PlanBuilder::scan("fact", {"f_k", "f_d", "f_v"})
+                        .join(PlanBuilder::scan("dim", {"d_k", "d_g"}),
+                              JoinType::Inner, {"f_k"}, {"d_k"})
+                        .aggregate({"d_g"}, {aggSum(col("f_v"), "s")})
+                        .build();
+        const auto pq = profileQuery(
+            *db, *plan, {.maxdop = 8, .serialThreshold = 1.0},
+            &env.pool());
+        RunConfig cfg;
+        cfg.cores = 8;
+        SimRun run(*db, cfg);
+        ReplayParams p{.dop = 8, .grantBytes = 1u << 24,
+                       .missRate = 0.2};
+        SimTime done = 0;
+        auto wrapper = [&]() -> Task<void> {
+            co_await replayQuery(run, pq.profile, p);
+            done = run.loop.now();
+            run.loop.stop();
+        };
+        run.loop.spawn(wrapper());
+        run.loop.run();
+        return std::pair<SimTime, uint64_t>(done,
+                                            run.loop.eventsDispatched());
+    };
+    const auto a = once();
+    const auto b = once();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+} // namespace
+} // namespace dbsens

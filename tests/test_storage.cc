@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Tests for column data, table data, buffer pool, and the storage
+ * layouts (row store, column store, columnstore index).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.h"
+#include "sim/ssd_model.h"
+#include "storage/buffer_pool.h"
+#include "storage/column_store.h"
+#include "storage/columnstore_index.h"
+#include "storage/row_store.h"
+#include "storage/table_data.h"
+
+namespace dbsens {
+namespace {
+
+Schema
+testSchema()
+{
+    return Schema({
+        {"id", TypeId::Int64},
+        {"price", TypeId::Double},
+        {"flag", TypeId::String, 4},
+    });
+}
+
+TEST(ColumnData, IntRoundTrip)
+{
+    ColumnData c(TypeId::Int64);
+    for (int64_t i = 0; i < 100; ++i)
+        c.appendInt(i * 7);
+    EXPECT_EQ(c.size(), 100u);
+    EXPECT_EQ(c.getInt(13), 91);
+    c.setInt(13, -5);
+    EXPECT_EQ(c.getInt(13), -5);
+}
+
+TEST(ColumnData, StringDictionaryDeduplicates)
+{
+    ColumnData c(TypeId::String);
+    c.appendString("AAA");
+    c.appendString("BBB");
+    c.appendString("AAA");
+    EXPECT_EQ(c.dict().size(), 2u);
+    EXPECT_EQ(c.getString(0), "AAA");
+    EXPECT_EQ(c.getString(2), "AAA");
+    EXPECT_EQ(c.stringCode(0), c.stringCode(2));
+    EXPECT_NE(c.stringCode(0), c.stringCode(1));
+}
+
+TEST(ColumnData, DistinctEstimates)
+{
+    ColumnData c(TypeId::Int64);
+    for (int i = 0; i < 1000; ++i)
+        c.appendInt(i % 10);
+    const auto d = c.distinctEstimate();
+    EXPECT_GE(d, 5u);
+    EXPECT_LE(d, 40u);
+}
+
+TEST(ColumnData, CompressedBytesBelowRaw)
+{
+    ColumnData c(TypeId::Int64);
+    for (int i = 0; i < 10000; ++i)
+        c.appendInt(i % 100); // 7 bits of range
+    EXPECT_LT(c.compressedBytes(), 10000u * 8);
+    EXPECT_GT(c.compressedBytes(), 10000u / 2);
+}
+
+TEST(TableData, AppendAndFetch)
+{
+    TableData t(testSchema());
+    const RowId r = t.append({int64_t(1), 9.5, "OK"});
+    EXPECT_EQ(t.rowCount(), 1u);
+    const auto row = t.getRow(r);
+    EXPECT_EQ(row[0].asInt(), 1);
+    EXPECT_DOUBLE_EQ(row[1].asDouble(), 9.5);
+    EXPECT_EQ(row[2].asString(), "OK");
+}
+
+TEST(TableData, DeletionTracksLiveRows)
+{
+    TableData t(testSchema());
+    for (int i = 0; i < 10; ++i)
+        t.append({int64_t(i), 1.0, "X"});
+    t.markDeleted(3);
+    t.markDeleted(3); // idempotent
+    EXPECT_TRUE(t.isDeleted(3));
+    EXPECT_EQ(t.liveRows(), 9u);
+}
+
+class BufferPoolTest : public ::testing::Test
+{
+  protected:
+    BufferPoolTest() : ssd(loop), pool(loop, ssd, 10 * kPageSize) {}
+
+    EventLoop loop;
+    SsdModel ssd;
+    BufferPool pool;
+};
+
+TEST_F(BufferPoolTest, TouchMissesThenHits)
+{
+    pool.registerObject(1, kPageSize);
+    auto r1 = pool.touch(1);
+    EXPECT_FALSE(r1.hit);
+    EXPECT_EQ(r1.readBytes, kPageSize);
+    auto r2 = pool.touch(1);
+    EXPECT_TRUE(r2.hit);
+    EXPECT_EQ(r2.readBytes, 0u);
+    EXPECT_EQ(pool.hits(), 1u);
+    EXPECT_EQ(pool.missCount(), 1u);
+}
+
+TEST_F(BufferPoolTest, LruEvictionUnderPressure)
+{
+    for (PageId p = 0; p < 20; ++p)
+        pool.registerObject(p, kPageSize);
+    for (PageId p = 0; p < 12; ++p)
+        pool.touch(p);
+    // Pool holds 10 pages; pages 0 and 1 were evicted.
+    EXPECT_FALSE(pool.isResident(0));
+    EXPECT_FALSE(pool.isResident(1));
+    EXPECT_TRUE(pool.isResident(11));
+    EXPECT_LE(pool.usedBytes(), pool.capacityBytes());
+}
+
+TEST_F(BufferPoolTest, DirtyEvictionReportsWriteback)
+{
+    for (PageId p = 0; p < 11; ++p)
+        pool.registerObject(p, kPageSize);
+    pool.touch(0);
+    pool.markDirty(0);
+    for (PageId p = 1; p < 11; ++p)
+        pool.touch(p); // evicts page 0
+    EXPECT_FALSE(pool.isResident(0));
+    EXPECT_EQ(pool.writebackBytes(), kPageSize);
+}
+
+TEST_F(BufferPoolTest, PrewarmFillsInRegistrationOrder)
+{
+    for (PageId p = 0; p < 20; ++p)
+        pool.registerObject(p, kPageSize);
+    pool.prewarm();
+    for (PageId p = 0; p < 10; ++p)
+        EXPECT_TRUE(pool.isResident(p)) << p;
+    EXPECT_FALSE(pool.isResident(10));
+}
+
+TEST_F(BufferPoolTest, FixChargesPageIoLatchOnMiss)
+{
+    pool.registerObject(1, kPageSize);
+    WaitStats stats;
+    auto session = [&]() -> Task<void> {
+        co_await pool.fix(1, &stats);
+    };
+    loop.spawn(session());
+    loop.run();
+    EXPECT_GT(stats.totalNs(WaitClass::PageIoLatch), 0);
+    EXPECT_EQ(stats.count(WaitClass::PageIoLatch), 1u);
+    EXPECT_TRUE(pool.isResident(1));
+    EXPECT_GT(ssd.bytesRead(), 0u);
+}
+
+TEST_F(BufferPoolTest, ConcurrentFixesShareOneRead)
+{
+    pool.registerObject(1, kPageSize);
+    WaitStats s1, s2;
+    int done = 0;
+    auto session = [&](WaitStats *s) -> Task<void> {
+        co_await pool.fix(1, s);
+        ++done;
+    };
+    loop.spawn(session(&s1));
+    loop.spawn(session(&s2));
+    loop.run();
+    EXPECT_EQ(done, 2);
+    EXPECT_EQ(ssd.readOps(), 1u); // second session joined the load
+    EXPECT_GT(s2.totalNs(WaitClass::PageIoLatch), 0);
+}
+
+TEST_F(BufferPoolTest, ResidentFixIsFree)
+{
+    pool.registerObject(1, kPageSize);
+    pool.touch(1);
+    WaitStats stats;
+    auto session = [&]() -> Task<void> {
+        co_await pool.fix(1, &stats);
+    };
+    loop.spawn(session());
+    loop.run();
+    EXPECT_EQ(stats.count(WaitClass::PageIoLatch), 0u);
+    EXPECT_EQ(loop.now(), 0);
+}
+
+TEST_F(BufferPoolTest, FlushDirtyCleansWithoutEvicting)
+{
+    pool.registerObject(1, kPageSize);
+    pool.touch(1);
+    pool.markDirty(1);
+    EXPECT_EQ(pool.dirtyBytes(), kPageSize);
+    const auto flushed = pool.flushDirty(1 << 20);
+    EXPECT_EQ(flushed, kPageSize);
+    EXPECT_EQ(pool.dirtyBytes(), 0u);
+    EXPECT_TRUE(pool.isResident(1));
+}
+
+TEST(RowStoreTest, PagesMapRowsAtFixedDensity)
+{
+    TableData data(testSchema()); // width 8+8+4 = 20 (+slot)
+    VirtualSpace vs;
+    PageId next = 100;
+    RowStore rs(data, [&](uint64_t) { return next++; }, vs, 10000);
+    EXPECT_GT(rs.rowsPerPage(), 100u);
+    bool new_page = false;
+    for (int i = 0; i < 1000; ++i)
+        rs.appendRow({int64_t(i), 0.5, "AB"}, &new_page);
+    EXPECT_EQ(rs.pageCount(),
+              (1000 + rs.rowsPerPage() - 1) / rs.rowsPerPage());
+    EXPECT_EQ(rs.pageOfRow(0), 100u);
+    EXPECT_EQ(rs.pageOfRow(rs.rowsPerPage()), 101u);
+    EXPECT_EQ(rs.dataBytes(), rs.pageCount() * kPageSize);
+}
+
+TEST(RowStoreTest, CacheAddressesWithinRegionAndOrdered)
+{
+    TableData data(testSchema());
+    VirtualSpace vs;
+    PageId next = 0;
+    RowStore rs(data, [&](uint64_t) { return next++; }, vs, 1000);
+    for (int i = 0; i < 500; ++i)
+        rs.appendRow({int64_t(i), 0.0, "A"});
+    const auto a0 = rs.cacheAddrOfRow(0);
+    const auto a499 = rs.cacheAddrOfRow(499);
+    EXPECT_GE(a0, rs.region().base);
+    EXPECT_LT(a499, rs.region().base + rs.region().size);
+    EXPECT_GT(a499, a0);
+}
+
+TEST(ColumnStoreTest, BuildRegistersSegmentsWithCompressedSizes)
+{
+    TableData data(testSchema());
+    for (int i = 0; i < 100000; ++i)
+        data.append({int64_t(i % 50), double(i % 7), "F"});
+    VirtualSpace vs;
+    std::vector<uint64_t> sizes;
+    PageId next = 0;
+    ColumnStore cs(data,
+                   [&](uint64_t b) {
+                       sizes.push_back(b);
+                       return next++;
+                   },
+                   vs);
+    cs.build();
+    EXPECT_EQ(cs.rowGroups(), 2u); // 100k rows / 65536
+    EXPECT_EQ(sizes.size(), 3u * 2u);
+    // Compressed total far below raw width (20 B/row).
+    EXPECT_LT(cs.totalBytes(), 100000u * 20);
+    EXPECT_GT(cs.totalBytes(), 0u);
+    EXPECT_NE(cs.segmentPage(0, 0), cs.segmentPage(0, 1));
+}
+
+TEST(ColumnstoreIndexTest, DeltaAccumulatesAndTupleMoverCompresses)
+{
+    TableData data(testSchema());
+    for (int i = 0; i < 1000; ++i)
+        data.append({int64_t(i), 1.0, "X"});
+    VirtualSpace vs;
+    PageId next = 0;
+    ColumnstoreIndex idx(data, [&](uint64_t) { return next++; }, vs);
+    idx.build();
+    EXPECT_EQ(idx.compressedUpTo(), 1000u);
+    EXPECT_EQ(idx.deltaRows(), 0u);
+
+    // Inserts land in the delta store.
+    for (int i = 0; i < 100; ++i) {
+        const RowId r = data.append({int64_t(1000 + i), 1.0, "X"});
+        idx.onInsert(r);
+    }
+    EXPECT_EQ(idx.deltaRows(), 100u);
+    EXPECT_EQ(idx.tupleMove(), 0u); // below threshold
+
+    for (uint64_t i = idx.deltaRows();
+         i < ColumnstoreIndex::kDeltaCompressThreshold; ++i) {
+        const RowId r = data.append({int64_t(i), 1.0, "X"});
+        idx.onInsert(r);
+    }
+    const auto moved = idx.tupleMove();
+    EXPECT_GT(moved, 0u);
+    EXPECT_EQ(idx.deltaRows(), 0u);
+    EXPECT_EQ(idx.compressedUpTo(), data.rowCount());
+}
+
+} // namespace
+} // namespace dbsens

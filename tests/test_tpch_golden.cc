@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Golden-value regression for the TPC-H suite: every query's result
+ * at SF=2 (seed 19920101) is pinned by row count and a numeric
+ * digest (sum of all numeric result cells). Guards the generator,
+ * expression evaluator, operators, and optimizer rewrites against
+ * silent semantic drift — any behavioural change to query results
+ * must update these values deliberately.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/query_runner.h"
+#include "workloads/tpch/tpch_gen.h"
+#include "workloads/tpch/tpch_queries.h"
+
+namespace dbsens {
+namespace {
+
+struct Golden
+{
+    int query;
+    size_t rows;
+    double digest;
+};
+
+// Captured from the reference implementation at SF=2, seed 19920101.
+const Golden kGolden[] = {
+    {1, 3u, 817130874.0981},  {2, 1u, 2785.6700},
+    {3, 10u, 799703.0090},    {4, 5u, 92.0000},
+    {5, 3u, 162023.8360},     {6, 1u, 148360.6250},
+    {7, 1u, 114317.3350},     {8, 2u, 3991.0000},
+    {9, 59u, 2095017.4450},   {10, 20u, 2480907.3910},
+    {11, 107u, 256337212.6300}, {12, 2u, 63.0000},
+    {13, 27u, 730.0000},      {14, 1u, 14.6489},
+    {15, 1u, 555176.0800},    {16, 61u, 1647.0000},
+    {17, 1u, 0.0000},         {18, 2u, 3896590.0000},
+    {19, 1u, 0.0000},         {20, 1u, 29.0000},
+    {21, 0u, 0.0000},         {22, 6u, 99900.0400},
+};
+
+double
+digestOf(const Chunk &out)
+{
+    double digest = 0;
+    for (size_t c = 0; c < out.columnCount(); ++c) {
+        const auto &col = out.col(c);
+        if (col.type() == TypeId::String)
+            continue;
+        for (size_t r = 0; r < out.rows(); ++r)
+            digest += col.numericAt(r);
+    }
+    return digest;
+}
+
+class TpchGolden : public ::testing::TestWithParam<int>
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        db = tpch::generate(2, 19920101).release();
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete db;
+        db = nullptr;
+    }
+
+    static Database *db;
+};
+
+Database *TpchGolden::db = nullptr;
+
+TEST_P(TpchGolden, ResultDigestMatchesReference)
+{
+    const int q = GetParam();
+    const Golden &g = kGolden[q - 1];
+    ASSERT_EQ(g.query, q);
+
+    auto plan = tpch::query(q);
+    Chunk out;
+    profileQuery(*db, *plan, {.maxdop = 8}, nullptr, nullptr, &out);
+    EXPECT_EQ(out.rows(), g.rows) << "Q" << q << " row count drifted";
+    const double d = digestOf(out);
+    // Relative tolerance for float accumulation order differences.
+    const double tol = std::max(1e-4, std::abs(g.digest) * 1e-9);
+    EXPECT_NEAR(d, g.digest, tol) << "Q" << q << " digest drifted";
+}
+
+INSTANTIATE_TEST_SUITE_P(Queries, TpchGolden, ::testing::Range(1, 23));
+
+TEST(TpchGoldenMeta, SelectiveQueriesProduceRowsAtModestScale)
+{
+    // Q21 legitimately returns zero rows at SF=2 (no order has both
+    // a lone late Saudi supplier and a second supplier at this size);
+    // at SF=6 both it and Q22 must produce rows, proving the plans
+    // are not vacuous.
+    auto db6 = tpch::generate(6, 19920101);
+    for (int q : {21, 22}) {
+        auto plan = tpch::query(q);
+        Chunk out;
+        profileQuery(*db6, *plan, {.maxdop = 8}, nullptr, nullptr,
+                     &out);
+        EXPECT_GT(out.rows(), 0u) << "Q" << q << " empty at SF=6";
+    }
+}
+
+} // namespace
+} // namespace dbsens
