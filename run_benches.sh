@@ -1,7 +1,18 @@
 #!/bin/bash
 # Regenerate every paper table and figure (DESIGN.md Section 4).
+#
+#   ./run_benches.sh            all paper benches + micro
+#   ./run_benches.sh wallclock  host wall-clock bench -> BENCH_wallclock.json
 set -u
 cd "$(dirname "$0")"
+
+if [ "${1:-}" = "wallclock" ]; then
+    build/bench/bench_wallclock > BENCH_wallclock.json \
+        || echo "BENCH FAILED: bench_wallclock" >&2
+    cat BENCH_wallclock.json
+    exit 0
+fi
+
 for b in build/bench/bench_table2_sizes build/bench/bench_table3_waits \
          build/bench/bench_fig2_cores_cache build/bench/bench_table4_sufficient_llc \
          build/bench/bench_fig3_bandwidth build/bench/bench_fig4_cdf \

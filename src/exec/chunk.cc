@@ -20,9 +20,7 @@ Chunk::gather(const std::vector<uint32_t> &sel) const
             nc = ColumnVector::strings(c.name(), c.dict());
             break;
         }
-        nc.reserve(sel.size());
-        for (uint32_t i : sel)
-            nc.appendFrom(c, i);
+        nc.gatherFrom(c, sel);
         out.addColumn(std::move(nc));
     }
     return out;

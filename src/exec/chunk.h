@@ -115,6 +115,27 @@ class ColumnVector
             i64_.push_back(src.i64_[i]);
     }
 
+    /**
+     * Append src[sel[i]] for every i — the type dispatch happens once
+     * and the copy runs as a tight typed loop (the appendFrom shape
+     * re-branches per row). Reserves the exact output size up front.
+     */
+    void
+    gatherFrom(const ColumnVector &src, const std::vector<uint32_t> &sel)
+    {
+        if (type_ == TypeId::Double) {
+            const std::vector<double> &s = src.dbl_;
+            dbl_.reserve(dbl_.size() + sel.size());
+            for (uint32_t i : sel)
+                dbl_.push_back(s[i]);
+        } else {
+            const std::vector<int64_t> &s = src.i64_;
+            i64_.reserve(i64_.size() + sel.size());
+            for (uint32_t i : sel)
+                i64_.push_back(s[i]);
+        }
+    }
+
   private:
     std::string name_;
     TypeId type_ = TypeId::Int64;

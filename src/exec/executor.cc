@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <cstring>
+#include <numeric>
 #include <unordered_set>
 
 #include "core/logging.h"
+#include "exec/flat_hash.h"
 
 namespace dbsens {
 
@@ -201,31 +203,45 @@ Executor::execScan(const PlanNode &n)
         out.col(out.columnCount() - 1).reserve(data.rowCount());
     }
 
+    // Visible rows, then column-at-a-time copies (one type dispatch
+    // per column instead of one per cell).
     const RowId nrows = data.rowCount();
-    for (RowId r = 0; r < nrows; ++r) {
-        if (data.isDeleted(r))
+    std::vector<RowId> alive;
+    alive.reserve(size_t(nrows));
+    for (RowId r = 0; r < nrows; ++r)
+        if (!data.isDeleted(r))
+            alive.push_back(r);
+    for (size_t c = 0; c < src.size(); ++c) {
+        auto &dst = out.col(c);
+        if (src[c]->type() == TypeId::Double) {
+            const std::vector<double> &s = src[c]->doubleData();
+            auto &d = dst.doubles();
+            for (RowId r : alive)
+                d.push_back(s[r]);
+        } else {
+            const std::vector<int64_t> &s = src[c]->intData();
+            auto &d = dst.ints();
+            for (RowId r : alive)
+                d.push_back(s[r]);
+        }
+    }
+    // Sampled cache touches, one per referenced column, emitted in
+    // the same (row-major) order as the interleaved loop produced so
+    // the simulated cache trace is unchanged.
+    for (RowId r : alive) {
+        if (r % kScanTouchStride != 0)
             continue;
         for (size_t c = 0; c < src.size(); ++c) {
-            auto &dst = out.col(c);
-            if (src[c]->type() == TypeId::Double)
-                dst.doubles().push_back(src[c]->getDouble(r));
-            else
-                dst.ints().push_back(src[c]->getInt(r));
-        }
-        // Sampled cache touches, one per referenced column.
-        if (r % kScanTouchStride == 0) {
-            for (size_t c = 0; c < src.size(); ++c) {
-                uint64_t addr = 0;
-                if (th.columnStore) {
-                    addr = th.columnStore->cacheAddr(src_ids[c], r);
-                } else if (th.ncci) {
-                    addr = th.ncci->compressed().cacheAddr(src_ids[c], r);
-                } else if (th.rowStore) {
-                    addr = th.rowStore->cacheAddrOfRow(r);
-                }
-                if (addr)
-                    touch(addr, op);
+            uint64_t addr = 0;
+            if (th.columnStore) {
+                addr = th.columnStore->cacheAddr(src_ids[c], r);
+            } else if (th.ncci) {
+                addr = th.ncci->compressed().cacheAddr(src_ids[c], r);
+            } else if (th.rowStore) {
+                addr = th.rowStore->cacheAddrOfRow(r);
             }
+            if (addr)
+                touch(addr, op);
         }
     }
 
@@ -323,23 +339,46 @@ Executor::execHashJoin(const PlanNode &n, Chunk left, Chunk right)
     for (const auto &k : n.leftKeys)
         lkeys.push_back(&left.byName(k));
 
-    // Build.
-    std::unordered_multimap<uint64_t, uint32_t> ht;
-    ht.reserve(right.rows());
+    // Key encoding dispatches on column type: Double key columns hash
+    // and compare the (sign-normalized) bit pattern of doubleAt —
+    // intAt on a Double column would read the empty i64 vector (UB).
+    // A Double on either side promotes the pair to double encoding.
+    std::vector<uint8_t> key_dbl(nkeys);
+    for (size_t k = 0; k < nkeys; ++k)
+        key_dbl[k] = lkeys[k]->type() == TypeId::Double ||
+                     rkeys[k]->type() == TypeId::Double;
+    auto key_part = [](const ColumnVector &c, bool as_double,
+                       size_t i) -> uint64_t {
+        if (as_double) {
+            double d = c.type() == TypeId::Double ? c.doubleAt(i)
+                                                  : double(c.intAt(i));
+            if (d == 0.0)
+                d = 0.0; // -0.0 and +0.0 join as equal
+            uint64_t bits;
+            std::memcpy(&bits, &d, sizeof bits);
+            return bits;
+        }
+        return uint64_t(c.intAt(i));
+    };
     auto hash_row = [&](const std::vector<const ColumnVector *> &cols,
                         size_t i) {
         uint64_t h = 0x51ed;
-        for (const auto *c : cols)
-            h = hashCombine(h, uint64_t(c->intAt(i)));
+        for (size_t k = 0; k < nkeys; ++k)
+            h = hashCombine(h, key_part(*cols[k], key_dbl[k] != 0, i));
         return h;
     };
+
+    // Build: flat table keyed by packed row hash; matches re-verify
+    // the actual key columns (hash collisions between distinct keys).
+    FlatMultiMap ht;
+    ht.reserve(right.rows());
     const uint64_t build_bytes = right.bytes() + right.rows() * 16;
     VirtualRegion ht_region;
     if (ctx_.tempSpace)
         ht_region = ctx_.tempSpace->allocateScaled(
             std::max<uint64_t>(build_bytes, 64));
     for (uint32_t i = 0; i < right.rows(); ++i) {
-        ht.emplace(hash_row(rkeys, i), i);
+        ht.insert(hash_row(rkeys, i), i);
         if (i % kProbeTouchStride == 0 && ht_region.valid())
             touch(ht_region.fractionAddr(ctx_.rng.uniformReal()),
                   build_op);
@@ -358,7 +397,8 @@ Executor::execHashJoin(const PlanNode &n, Chunk left, Chunk right)
 
     auto keys_equal = [&](uint32_t li, uint32_t ri) {
         for (size_t k = 0; k < nkeys; ++k)
-            if (lkeys[k]->intAt(li) != rkeys[k]->intAt(ri))
+            if (key_part(*lkeys[k], key_dbl[k] != 0, li) !=
+                key_part(*rkeys[k], key_dbl[k] != 0, ri))
                 return false;
         return true;
     };
@@ -368,6 +408,9 @@ Executor::execHashJoin(const PlanNode &n, Chunk left, Chunk right)
     const bool semi = n.joinType == JoinType::LeftSemi;
     const bool anti = n.joinType == JoinType::LeftAnti;
     const bool outer = n.joinType == JoinType::LeftOuter;
+    lsel.reserve(left.rows());
+    if (!semi && !anti)
+        rsel.reserve(left.rows());
     std::vector<uint8_t> matched_flag;
     if (outer)
         matched_flag.reserve(left.rows());
@@ -375,29 +418,24 @@ Executor::execHashJoin(const PlanNode &n, Chunk left, Chunk right)
     for (uint32_t i = 0; i < left.rows(); ++i) {
         const uint64_t h = hash_row(lkeys, i);
         bool any = false;
-        auto [lo, hi] = ht.equal_range(h);
-        for (auto it = lo; it != hi; ++it) {
-            if (!keys_equal(i, it->second))
-                continue;
+        ht.forEachMatch(h, [&](uint32_t ri) {
+            if (!keys_equal(i, ri))
+                return true;
             any = true;
             if (semi || anti)
-                break;
+                return false; // existence settled, stop probing
             lsel.push_back(i);
-            rsel.push_back(it->second);
-        }
+            rsel.push_back(ri);
+            if (outer)
+                matched_flag.push_back(1);
+            return true;
+        });
         if ((semi && any) || (anti && !any)) {
             lsel.push_back(i);
-        } else if (outer) {
-            if (!any) {
-                lsel.push_back(i);
-                rsel.push_back(UINT32_MAX);
-                matched_flag.push_back(0);
-            } else {
-                // matched pairs were appended above; flags for them:
-                for (auto it = lo; it != hi; ++it)
-                    if (keys_equal(i, it->second))
-                        matched_flag.push_back(1);
-            }
+        } else if (outer && !any) {
+            lsel.push_back(i);
+            rsel.push_back(UINT32_MAX);
+            matched_flag.push_back(0);
         }
         if (i % kProbeTouchStride == 0 && ht_region.valid())
             touch(ht_region.fractionAddr(ctx_.rng.uniformReal()),
@@ -408,9 +446,7 @@ Executor::execHashJoin(const PlanNode &n, Chunk left, Chunk right)
     Chunk out;
     for (const auto &c : left.columns()) {
         ColumnVector nc = emptyLike(c);
-        nc.reserve(lsel.size());
-        for (uint32_t i : lsel)
-            nc.appendFrom(c, i);
+        nc.gatherFrom(c, lsel);
         out.addColumn(std::move(nc));
     }
     if (!semi && !anti) {
@@ -419,15 +455,16 @@ Executor::execHashJoin(const PlanNode &n, Chunk left, Chunk right)
                 panic("join output column collision: " + c.name());
             ColumnVector nc = emptyLike(c);
             nc.reserve(rsel.size());
-            for (uint32_t i : rsel) {
-                if (i == UINT32_MAX) {
-                    if (nc.type() == TypeId::Double)
-                        nc.doubles().push_back(0.0);
-                    else
-                        nc.ints().push_back(0);
-                } else {
-                    nc.appendFrom(c, i);
-                }
+            if (nc.type() == TypeId::Double) {
+                const auto &s = c.doubles();
+                auto &d = nc.doubles();
+                for (uint32_t i : rsel)
+                    d.push_back(i == UINT32_MAX ? 0.0 : s[i]);
+            } else {
+                const auto &s = c.ints();
+                auto &d = nc.ints();
+                for (uint32_t i : rsel)
+                    d.push_back(i == UINT32_MAX ? 0 : s[i]);
             }
             out.addColumn(std::move(nc));
         }
@@ -515,9 +552,7 @@ Executor::execIndexNLJoin(const PlanNode &n, Chunk left)
     Chunk out;
     for (const auto &c : left.columns()) {
         ColumnVector nc = emptyLike(c);
-        nc.reserve(lsel.size());
-        for (uint32_t i : lsel)
-            nc.appendFrom(c, i);
+        nc.gatherFrom(c, lsel);
         out.addColumn(std::move(nc));
     }
     for (size_t c = 0; c < fetch_ids.size(); ++c) {
@@ -557,29 +592,28 @@ Executor::execAggregate(const PlanNode &n, Chunk in)
     op.rowsIn = in.rows();
     op.parallelizable = n.parallel;
 
-    struct VecHash
-    {
-        size_t
-        operator()(const std::vector<int64_t> &v) const
-        {
-            uint64_t h = 0xA66;
-            for (int64_t x : v)
-                h = hashCombine(h, uint64_t(x));
-            return size_t(h);
-        }
-    };
-
     std::vector<const ColumnVector *> key_cols;
     for (const auto &k : n.groupBy)
         key_cols.push_back(&in.byName(k));
+    const size_t nkeys = key_cols.size();
+    const size_t nrows = in.rows();
 
-    // Aggregate states.
+    // Aggregate arguments, pre-materialized column-at-a-time with the
+    // vectorized kernels (same per-row operations, so identical
+    // values) instead of a per-row tree walk inside the group loop.
     const size_t naggs = n.aggs.size();
-    std::vector<std::unique_ptr<BoundExpr>> arg_exprs(naggs);
-    for (size_t a = 0; a < naggs; ++a)
-        if (n.aggs[a].arg)
-            arg_exprs[a] = std::make_unique<BoundExpr>(n.aggs[a].arg, in,
-                                                       &ctx_.params);
+    std::vector<std::vector<double>> arg_vals(naggs);
+    if (nrows > 0) {
+        std::vector<uint32_t> idsel(nrows);
+        std::iota(idsel.begin(), idsel.end(), 0u);
+        for (size_t a = 0; a < naggs; ++a) {
+            if (!n.aggs[a].arg)
+                continue;
+            BoundExpr be(n.aggs[a].arg, in, &ctx_.params);
+            arg_vals[a].resize(nrows);
+            be.evalNumericSel(idsel.data(), nrows, arg_vals[a].data());
+        }
+    }
 
     struct GroupState
     {
@@ -590,12 +624,16 @@ Executor::execAggregate(const PlanNode &n, Chunk in)
         std::vector<std::unordered_set<int64_t>> distinct;
     };
 
-    std::unordered_map<std::vector<int64_t>, size_t, VecHash> index;
-    std::vector<std::vector<int64_t>> group_keys;
+    // Flat open-addressing group index over packed key hashes; group
+    // keys live in one flat array (nkeys values per group) instead of
+    // a heap-allocated vector per group.
+    FlatGroupMap index(1024);
+    std::vector<int64_t> group_keys;
     std::vector<GroupState> groups;
 
-    auto new_group = [&](const std::vector<int64_t> &key) {
-        group_keys.push_back(key);
+    auto new_group = [&](const int64_t *key_parts) {
+        group_keys.insert(group_keys.end(), key_parts,
+                          key_parts + nkeys);
         GroupState st;
         st.sum.assign(naggs, 0.0);
         st.mn.assign(naggs, 1e300);
@@ -606,23 +644,27 @@ Executor::execAggregate(const PlanNode &n, Chunk in)
         return groups.size() - 1;
     };
 
-    std::vector<int64_t> key(key_cols.size());
-    const size_t nrows = in.rows();
+    std::vector<int64_t> key(nkeys);
     for (size_t i = 0; i < nrows; ++i) {
-        for (size_t k = 0; k < key_cols.size(); ++k) {
+        uint64_t h = 0xA66;
+        for (size_t k = 0; k < nkeys; ++k) {
             const ColumnVector &c = *key_cols[k];
             key[k] = c.type() == TypeId::Double
                          ? int64_t(std::llround(c.doubleAt(i)))
                          : c.intAt(i);
+            h = hashCombine(h, uint64_t(key[k]));
         }
-        size_t g;
-        auto it = index.find(key);
-        if (it == index.end()) {
-            g = new_group(key);
-            index.emplace(key, g);
-        } else {
-            g = it->second;
-        }
+        bool inserted = false;
+        const uint32_t g = index.findOrInsert(
+            h, uint32_t(groups.size()),
+            [&](uint32_t gid) {
+                return std::equal(key.begin(), key.end(),
+                                  group_keys.begin() +
+                                      int64_t(size_t(gid) * nkeys));
+            },
+            inserted);
+        if (inserted)
+            new_group(key.data());
         GroupState &st = groups[g];
         for (size_t a = 0; a < naggs; ++a) {
             const AggSpec &spec = n.aggs[a];
@@ -630,7 +672,7 @@ Executor::execAggregate(const PlanNode &n, Chunk in)
                 st.cnt[a] += 1;
                 continue;
             }
-            const double v = arg_exprs[a]->evalNumeric(i);
+            const double v = arg_vals[a][i];
             switch (spec.fn) {
               case AggFunc::Sum:
               case AggFunc::Avg:
@@ -657,20 +699,22 @@ Executor::execAggregate(const PlanNode &n, Chunk in)
 
     // Global aggregate over empty input still yields one row.
     if (n.groupBy.empty() && groups.empty())
-        new_group({});
+        new_group(nullptr);
 
     // Emit.
+    const size_t ngroups = groups.size();
     Chunk out;
-    out.setRows(groups.size());
-    for (size_t k = 0; k < key_cols.size(); ++k) {
+    out.setRows(ngroups);
+    for (size_t k = 0; k < nkeys; ++k) {
         ColumnVector nc = emptyLike(*key_cols[k]);
         nc.rename(n.groupBy[k]);
-        nc.reserve(groups.size());
-        for (const auto &gk : group_keys) {
+        nc.reserve(ngroups);
+        for (size_t g = 0; g < ngroups; ++g) {
+            const int64_t gk = group_keys[g * nkeys + k];
             if (nc.type() == TypeId::Double)
-                nc.doubles().push_back(double(gk[k]));
+                nc.doubles().push_back(double(gk));
             else
-                nc.ints().push_back(gk[k]);
+                nc.ints().push_back(gk);
         }
         out.addColumn(std::move(nc));
     }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdlib>
 #include <functional>
+#include <iterator>
+#include <numeric>
 
 #include "core/logging.h"
 
@@ -258,9 +260,12 @@ struct BoundExpr::Node
     CmpOp cmp{};
     LogicOp logic{};
     ArithOp arith{};
+    int32_t kid0 = -1; ///< pool indices of children
+    int32_t kid1 = -1;
+    int32_t kid2 = -1;
     const ColumnVector *colv = nullptr;
     Value literal;
-    std::vector<std::shared_ptr<Node>> kids;
+    double literalNum = 0; ///< cached numeric view of `literal`
     std::string pattern;
     int substrPos = 0;
     int substrLen = 0;
@@ -276,29 +281,38 @@ struct BoundExpr::Node
     std::vector<double> dictValue;  // per-code numeric (SubstrInt)
 };
 
+BoundExpr::~BoundExpr() = default;
+BoundExpr::BoundExpr(BoundExpr &&) noexcept = default;
+BoundExpr &BoundExpr::operator=(BoundExpr &&) noexcept = default;
+
 namespace {
 
 using Node = BoundExpr::Node;
+using Pool = std::vector<Node>;
 
-double evalNum(const Node &n, size_t i);
+// ------------------------------------------------ scalar reference path
+
+double evalNum(const Pool &pool, const Node &n, size_t i);
 
 bool
-evalB(const Node &n, size_t i)
+evalB(const Pool &pool, const Node &n, size_t i)
 {
     switch (n.kind) {
       case ExprKind::Logic:
         switch (n.logic) {
           case LogicOp::And:
-            return evalB(*n.kids[0], i) && evalB(*n.kids[1], i);
+            return evalB(pool, pool[size_t(n.kid0)], i) &&
+                   evalB(pool, pool[size_t(n.kid1)], i);
           case LogicOp::Or:
-            return evalB(*n.kids[0], i) || evalB(*n.kids[1], i);
+            return evalB(pool, pool[size_t(n.kid0)], i) ||
+                   evalB(pool, pool[size_t(n.kid1)], i);
           case LogicOp::Not:
-            return !evalB(*n.kids[0], i);
+            return !evalB(pool, pool[size_t(n.kid0)], i);
         }
         return false;
       case ExprKind::Cmp: {
-        const Node &a = *n.kids[0];
-        const Node &b = *n.kids[1];
+        const Node &a = pool[size_t(n.kid0)];
+        const Node &b = pool[size_t(n.kid1)];
         if (n.stringCmp) {
             // Fast path: column vs constant with dictionary code.
             if (a.kind == ExprKind::ColRef && b.kind == ExprKind::Const &&
@@ -322,8 +336,8 @@ evalB(const Node &n, size_t i)
             }
             return false;
         }
-        const double va = evalNum(a, i);
-        const double vb = evalNum(b, i);
+        const double va = evalNum(pool, a, i);
+        const double vb = evalNum(pool, b, i);
         switch (n.cmp) {
           case CmpOp::Eq: return va == vb;
           case CmpOp::Ne: return va != vb;
@@ -343,21 +357,21 @@ evalB(const Node &n, size_t i)
         return std::find(set.begin(), set.end(), v) != set.end();
       }
       default:
-        return evalNum(n, i) != 0.0;
+        return evalNum(pool, n, i) != 0.0;
     }
 }
 
 double
-evalNum(const Node &n, size_t i)
+evalNum(const Pool &pool, const Node &n, size_t i)
 {
     switch (n.kind) {
       case ExprKind::ColRef:
         return n.colv->numericAt(i);
       case ExprKind::Const:
-        return n.literal.numeric();
+        return n.literalNum;
       case ExprKind::Arith: {
-        const double a = evalNum(*n.kids[0], i);
-        const double b = evalNum(*n.kids[1], i);
+        const double a = evalNum(pool, pool[size_t(n.kid0)], i);
+        const double b = evalNum(pool, pool[size_t(n.kid1)], i);
         switch (n.arith) {
           case ArithOp::Add: return a + b;
           case ArithOp::Sub: return a - b;
@@ -367,14 +381,425 @@ evalNum(const Node &n, size_t i)
         return 0;
       }
       case ExprKind::CaseWhen:
-        return evalB(*n.kids[0], i) ? evalNum(*n.kids[1], i)
-                                    : evalNum(*n.kids[2], i);
+        return evalB(pool, pool[size_t(n.kid0)], i)
+                   ? evalNum(pool, pool[size_t(n.kid1)], i)
+                   : evalNum(pool, pool[size_t(n.kid2)], i);
       case ExprKind::YearOf:
-        return double(yearOfDays(int64_t(evalNum(*n.kids[0], i))));
+        return double(yearOfDays(
+            int64_t(evalNum(pool, pool[size_t(n.kid0)], i))));
       case ExprKind::SubstrInt:
         return n.dictValue[size_t(n.colv->intAt(i))];
       default:
-        return evalB(n, i) ? 1.0 : 0.0;
+        return evalB(pool, n, i) ? 1.0 : 0.0;
+    }
+}
+
+// --------------------------------------------------- vectorized kernels
+//
+// Every kernel consumes/produces strictly increasing selection
+// vectors; filterNode shrinks in place, numericNode writes one double
+// per selected row.
+
+void numericNode(const Pool &pool, int32_t ni, const uint32_t *sel,
+                 size_t n, double *out);
+
+/** sel := sel \ sub (both strictly increasing, sub ⊆ sel). */
+void
+selSubtract(std::vector<uint32_t> &sel, const std::vector<uint32_t> &sub)
+{
+    if (sub.empty())
+        return;
+    size_t out = 0, j = 0;
+    for (size_t i = 0; i < sel.size(); ++i) {
+        if (j < sub.size() && sub[j] == sel[i]) {
+            ++j;
+            continue;
+        }
+        sel[out++] = sel[i];
+    }
+    sel.resize(out);
+}
+
+/**
+ * Apply a row predicate over sel, keeping matching rows in place.
+ * The compaction is branchless (unconditional store + predicated
+ * advance), so random selectivities pay no mispredict penalty, and a
+ * contiguous selection (the common identity vector from filterRows)
+ * drops the sel[i] indirection entirely.
+ */
+template <class Pred>
+void
+keepIf(std::vector<uint32_t> &sel, Pred pred)
+{
+    const size_t n = sel.size();
+    if (n == 0)
+        return;
+    size_t out = 0;
+    uint32_t *s = sel.data();
+    if (size_t(s[n - 1]) - s[0] + 1 == n) {
+        const uint32_t base = s[0];
+        for (size_t i = 0; i < n; ++i) {
+            const uint32_t r = base + uint32_t(i);
+            s[out] = r;
+            out += pred(i, r) ? 1 : 0;
+        }
+    } else {
+        for (size_t i = 0; i < n; ++i) {
+            const uint32_t r = s[i]; // read before the s[out] store
+            s[out] = r;
+            out += pred(i, r) ? 1 : 0;
+        }
+    }
+    sel.resize(out);
+}
+
+/** Dispatch a comparison op to a generic keep loop. ga/gb map
+ * (position, row) to the operand values. */
+template <class GetA, class GetB>
+void
+cmpKeep(CmpOp op, std::vector<uint32_t> &sel, GetA ga, GetB gb)
+{
+    switch (op) {
+      case CmpOp::Eq:
+        keepIf(sel, [&](size_t i, uint32_t r) { return ga(i, r) == gb(i, r); });
+        break;
+      case CmpOp::Ne:
+        keepIf(sel, [&](size_t i, uint32_t r) { return ga(i, r) != gb(i, r); });
+        break;
+      case CmpOp::Lt:
+        keepIf(sel, [&](size_t i, uint32_t r) { return ga(i, r) < gb(i, r); });
+        break;
+      case CmpOp::Le:
+        keepIf(sel, [&](size_t i, uint32_t r) { return ga(i, r) <= gb(i, r); });
+        break;
+      case CmpOp::Gt:
+        keepIf(sel, [&](size_t i, uint32_t r) { return ga(i, r) > gb(i, r); });
+        break;
+      case CmpOp::Ge:
+        keepIf(sel, [&](size_t i, uint32_t r) { return ga(i, r) >= gb(i, r); });
+        break;
+    }
+}
+
+/** Numeric-column comparison against whatever gb produces. */
+template <class GetB>
+void
+cmpColKeep(CmpOp op, const ColumnVector &col, std::vector<uint32_t> &sel,
+           GetB gb)
+{
+    if (col.type() == TypeId::Double) {
+        const double *d = col.doubles().data();
+        cmpKeep(op, sel,
+                [d](size_t, uint32_t r) { return d[r]; }, gb);
+    } else {
+        const int64_t *d = col.ints().data();
+        cmpKeep(op, sel,
+                [d](size_t, uint32_t r) { return double(d[r]); }, gb);
+    }
+}
+
+void
+filterNode(const Pool &pool, int32_t ni, std::vector<uint32_t> &sel)
+{
+    const Node &n = pool[size_t(ni)];
+    switch (n.kind) {
+      case ExprKind::Logic:
+        switch (n.logic) {
+          case LogicOp::And:
+            // Short-circuit: the right side only sees survivors.
+            filterNode(pool, n.kid0, sel);
+            if (!sel.empty())
+                filterNode(pool, n.kid1, sel);
+            return;
+          case LogicOp::Or: {
+            // Left side first; the right side only sees the rows the
+            // left rejected, then the two (disjoint, sorted) survivor
+            // sets merge back together.
+            std::vector<uint32_t> strue = sel;
+            filterNode(pool, n.kid0, strue);
+            std::vector<uint32_t> rest = sel;
+            selSubtract(rest, strue);
+            filterNode(pool, n.kid1, rest);
+            sel.clear();
+            std::merge(strue.begin(), strue.end(), rest.begin(),
+                       rest.end(), std::back_inserter(sel));
+            return;
+          }
+          case LogicOp::Not: {
+            std::vector<uint32_t> strue = sel;
+            filterNode(pool, n.kid0, strue);
+            selSubtract(sel, strue);
+            return;
+          }
+        }
+        return;
+      case ExprKind::Cmp: {
+        const Node &a = pool[size_t(n.kid0)];
+        const Node &b = pool[size_t(n.kid1)];
+        if (n.stringCmp) {
+            if (a.kind == ExprKind::ColRef && b.kind == ExprKind::Const &&
+                (n.cmp == CmpOp::Eq || n.cmp == CmpOp::Ne)) {
+                const int64_t *codes = a.colv->ints().data();
+                const int64_t cc = n.constCode;
+                if (n.cmp == CmpOp::Eq)
+                    keepIf(sel, [codes, cc](size_t, uint32_t r) {
+                        return codes[r] == cc;
+                    });
+                else
+                    keepIf(sel, [codes, cc](size_t, uint32_t r) {
+                        return codes[r] != cc;
+                    });
+                return;
+            }
+            // General (rare) string comparison: per-row materialized.
+            keepIf(sel, [&](size_t, uint32_t r) {
+                return evalB(pool, n, r);
+            });
+            return;
+        }
+        const bool a_leaf = a.kind == ExprKind::ColRef ||
+                            a.kind == ExprKind::Const;
+        const bool b_leaf = b.kind == ExprKind::ColRef ||
+                            b.kind == ExprKind::Const;
+        if (a_leaf && b_leaf) {
+            // Leaf-vs-leaf: no scratch buffers, one typed pass.
+            if (a.kind == ExprKind::ColRef && b.kind == ExprKind::Const) {
+                const double c = b.literalNum;
+                cmpColKeep(n.cmp, *a.colv, sel,
+                           [c](size_t, uint32_t) { return c; });
+            } else if (a.kind == ExprKind::Const &&
+                       b.kind == ExprKind::ColRef) {
+                const double c = a.literalNum;
+                const ColumnVector &col = *b.colv;
+                if (col.type() == TypeId::Double) {
+                    const double *d = col.doubles().data();
+                    cmpKeep(n.cmp, sel,
+                            [c](size_t, uint32_t) { return c; },
+                            [d](size_t, uint32_t r) { return d[r]; });
+                } else {
+                    const int64_t *d = col.ints().data();
+                    cmpKeep(n.cmp, sel,
+                            [c](size_t, uint32_t) { return c; },
+                            [d](size_t, uint32_t r) {
+                                return double(d[r]);
+                            });
+                }
+            } else if (a.kind == ExprKind::ColRef &&
+                       b.kind == ExprKind::ColRef) {
+                const ColumnVector &cb = *b.colv;
+                if (cb.type() == TypeId::Double) {
+                    const double *d = cb.doubles().data();
+                    cmpColKeep(n.cmp, *a.colv, sel,
+                               [d](size_t, uint32_t r) { return d[r]; });
+                } else {
+                    const int64_t *d = cb.ints().data();
+                    cmpColKeep(n.cmp, *a.colv, sel,
+                               [d](size_t, uint32_t r) {
+                                   return double(d[r]);
+                               });
+                }
+            } else { // const vs const
+                const double ca = a.literalNum, cb = b.literalNum;
+                cmpKeep(n.cmp, sel,
+                        [ca](size_t, uint32_t) { return ca; },
+                        [cb](size_t, uint32_t) { return cb; });
+            }
+            return;
+        }
+        // General comparison: evaluate both sides into scratch
+        // buffers over the current selection, then one compare pass.
+        const size_t cnt = sel.size();
+        std::vector<double> va(cnt), vb(cnt);
+        numericNode(pool, n.kid0, sel.data(), cnt, va.data());
+        numericNode(pool, n.kid1, sel.data(), cnt, vb.data());
+        cmpKeep(n.cmp, sel,
+                [&va](size_t i, uint32_t) { return va[i]; },
+                [&vb](size_t i, uint32_t) { return vb[i]; });
+        return;
+      }
+      case ExprKind::Like:
+      case ExprKind::SubstrIn: {
+        const int64_t *codes = n.colv->ints().data();
+        const uint8_t *match = n.dictMatch.data();
+        keepIf(sel, [codes, match](size_t, uint32_t r) {
+            return match[size_t(codes[r])] != 0;
+        });
+        return;
+      }
+      case ExprKind::InList: {
+        const int64_t *data = n.colv->ints().data();
+        const auto &set = n.inCodesValid ? n.inCodes : n.inInts;
+        keepIf(sel, [&set, data](size_t, uint32_t r) {
+            return std::find(set.begin(), set.end(), data[r]) !=
+                   set.end();
+        });
+        return;
+      }
+      default: {
+        // Numeric expression in boolean context: non-zero is true.
+        const size_t cnt = sel.size();
+        std::vector<double> v(cnt);
+        numericNode(pool, ni, sel.data(), cnt, v.data());
+        keepIf(sel, [&v](size_t i, uint32_t) { return v[i] != 0.0; });
+        return;
+      }
+    }
+}
+
+void
+numericNode(const Pool &pool, int32_t ni, const uint32_t *sel, size_t n,
+            double *out)
+{
+    const Node &nd = pool[size_t(ni)];
+    switch (nd.kind) {
+      case ExprKind::ColRef:
+        if (nd.colv->type() == TypeId::Double) {
+            const double *d = nd.colv->doubles().data();
+            for (size_t i = 0; i < n; ++i)
+                out[i] = d[sel[i]];
+        } else {
+            const int64_t *d = nd.colv->ints().data();
+            for (size_t i = 0; i < n; ++i)
+                out[i] = double(d[sel[i]]);
+        }
+        return;
+      case ExprKind::Const: {
+        const double c = nd.literalNum;
+        for (size_t i = 0; i < n; ++i)
+            out[i] = c;
+        return;
+      }
+      case ExprKind::Arith: {
+        // Constant left operand: evaluate the right kid into out and
+        // apply the constant in place (shape: 1 - disc).
+        if (pool[size_t(nd.kid0)].kind == ExprKind::Const &&
+            pool[size_t(nd.kid1)].kind != ExprKind::Const) {
+            const double c = pool[size_t(nd.kid0)].literalNum;
+            numericNode(pool, nd.kid1, sel, n, out);
+            switch (nd.arith) {
+              case ArithOp::Add:
+                for (size_t i = 0; i < n; ++i)
+                    out[i] = c + out[i];
+                return;
+              case ArithOp::Sub:
+                for (size_t i = 0; i < n; ++i)
+                    out[i] = c - out[i];
+                return;
+              case ArithOp::Mul:
+                for (size_t i = 0; i < n; ++i)
+                    out[i] = c * out[i];
+                return;
+              case ArithOp::Div:
+                for (size_t i = 0; i < n; ++i)
+                    out[i] = out[i] != 0 ? c / out[i] : 0.0;
+                return;
+            }
+            return;
+        }
+        numericNode(pool, nd.kid0, sel, n, out);
+        // Constant right operand: fold into the accumulate pass, no
+        // scratch buffer (common shape: price * (1 - disc)).
+        if (pool[size_t(nd.kid1)].kind == ExprKind::Const) {
+            const double c = pool[size_t(nd.kid1)].literalNum;
+            switch (nd.arith) {
+              case ArithOp::Add:
+                for (size_t i = 0; i < n; ++i)
+                    out[i] += c;
+                return;
+              case ArithOp::Sub:
+                for (size_t i = 0; i < n; ++i)
+                    out[i] -= c;
+                return;
+              case ArithOp::Mul:
+                for (size_t i = 0; i < n; ++i)
+                    out[i] *= c;
+                return;
+              case ArithOp::Div:
+                if (c != 0) {
+                    for (size_t i = 0; i < n; ++i)
+                        out[i] /= c;
+                } else {
+                    for (size_t i = 0; i < n; ++i)
+                        out[i] = 0.0;
+                }
+                return;
+            }
+            return;
+        }
+        std::vector<double> rhs(n);
+        numericNode(pool, nd.kid1, sel, n, rhs.data());
+        switch (nd.arith) {
+          case ArithOp::Add:
+            for (size_t i = 0; i < n; ++i)
+                out[i] += rhs[i];
+            return;
+          case ArithOp::Sub:
+            for (size_t i = 0; i < n; ++i)
+                out[i] -= rhs[i];
+            return;
+          case ArithOp::Mul:
+            for (size_t i = 0; i < n; ++i)
+                out[i] *= rhs[i];
+            return;
+          case ArithOp::Div:
+            for (size_t i = 0; i < n; ++i)
+                out[i] = rhs[i] != 0 ? out[i] / rhs[i] : 0.0;
+            return;
+        }
+        return;
+      }
+      case ExprKind::CaseWhen: {
+        // Split the selection by the condition, evaluate each branch
+        // only on its rows, and scatter back by position.
+        std::vector<uint32_t> tsel(sel, sel + n);
+        filterNode(pool, nd.kid0, tsel);
+        std::vector<uint32_t> esel, tpos, epos;
+        esel.reserve(n - tsel.size());
+        epos.reserve(n - tsel.size());
+        tpos.reserve(tsel.size());
+        size_t j = 0;
+        for (size_t i = 0; i < n; ++i) {
+            if (j < tsel.size() && tsel[j] == sel[i]) {
+                tpos.push_back(uint32_t(i));
+                ++j;
+            } else {
+                esel.push_back(sel[i]);
+                epos.push_back(uint32_t(i));
+            }
+        }
+        std::vector<double> tv(tsel.size()), ev(esel.size());
+        numericNode(pool, nd.kid1, tsel.data(), tsel.size(), tv.data());
+        numericNode(pool, nd.kid2, esel.data(), esel.size(), ev.data());
+        for (size_t i = 0; i < tpos.size(); ++i)
+            out[tpos[i]] = tv[i];
+        for (size_t i = 0; i < epos.size(); ++i)
+            out[epos[i]] = ev[i];
+        return;
+      }
+      case ExprKind::YearOf:
+        numericNode(pool, nd.kid0, sel, n, out);
+        for (size_t i = 0; i < n; ++i)
+            out[i] = double(yearOfDays(int64_t(out[i])));
+        return;
+      case ExprKind::SubstrInt: {
+        const int64_t *codes = nd.colv->ints().data();
+        const double *vals = nd.dictValue.data();
+        for (size_t i = 0; i < n; ++i)
+            out[i] = vals[size_t(codes[sel[i]])];
+        return;
+      }
+      default: {
+        // Boolean expression in numeric context: 1.0 / 0.0.
+        std::vector<uint32_t> bsel(sel, sel + n);
+        filterNode(pool, ni, bsel);
+        size_t j = 0;
+        for (size_t i = 0; i < n; ++i) {
+            const bool hit = j < bsel.size() && bsel[j] == sel[i];
+            out[i] = hit ? 1.0 : 0.0;
+            j += hit;
+        }
+        return;
+      }
     }
 }
 
@@ -383,26 +808,27 @@ evalNum(const Node &n, size_t i)
 BoundExpr::BoundExpr(ExprPtr e, const Chunk &chunk, const ParamMap *params)
 {
     size_ = exprSize(*e);
+    pool_.reserve(size_t(size_));
 
-    // Recursive bind.
-    std::function<std::shared_ptr<Node>(const Expr &)> bind =
-        [&](const Expr &x) -> std::shared_ptr<Node> {
-        auto n = std::make_shared<Node>();
-        n->kind = x.kind;
-        n->cmp = x.cmp;
-        n->logic = x.logic;
-        n->arith = x.arith;
-        n->pattern = x.pattern;
-        n->substrPos = x.substrPos;
-        n->substrLen = x.substrLen;
-        n->inStrings = x.inStrings;
-        n->inInts = x.inInts;
+    // Recursive bind into the flat pool (children first, post-order).
+    std::function<int32_t(const Expr &)> bind =
+        [&](const Expr &x) -> int32_t {
+        Node n;
+        n.kind = x.kind;
+        n.cmp = x.cmp;
+        n.logic = x.logic;
+        n.arith = x.arith;
+        n.pattern = x.pattern;
+        n.substrPos = x.substrPos;
+        n.substrLen = x.substrLen;
+        n.inStrings = x.inStrings;
+        n.inInts = x.inInts;
         switch (x.kind) {
           case ExprKind::ColRef:
-            n->colv = &chunk.byName(x.column);
+            n.colv = &chunk.byName(x.column);
             break;
           case ExprKind::Const:
-            n->literal = x.literal;
+            n.literal = x.literal;
             break;
           case ExprKind::Param: {
             if (!params)
@@ -411,26 +837,32 @@ BoundExpr::BoundExpr(ExprPtr e, const Chunk &chunk, const ParamMap *params)
             auto it = params->find(x.param);
             if (it == params->end())
                 panic("unbound expression parameter '" + x.param + "'");
-            n->kind = ExprKind::Const;
-            n->literal = it->second;
+            n.kind = ExprKind::Const;
+            n.literal = it->second;
             break;
           }
           case ExprKind::Like:
           case ExprKind::SubstrIn:
           case ExprKind::SubstrInt:
           case ExprKind::InList:
-            n->colv = &chunk.byName(x.column);
+            n.colv = &chunk.byName(x.column);
             break;
           default:
             break;
         }
-        for (const auto &k : x.kids)
-            n->kids.push_back(bind(*k));
+        if (n.kind == ExprKind::Const && !n.literal.isString())
+            n.literalNum = n.literal.numeric();
+        int32_t kids[3] = {-1, -1, -1};
+        for (size_t k = 0; k < x.kids.size() && k < 3; ++k)
+            kids[k] = bind(*x.kids[k]);
+        n.kid0 = kids[0];
+        n.kid1 = kids[1];
+        n.kid2 = kids[2];
 
         // Post-bind analysis.
-        if (n->kind == ExprKind::Cmp) {
-            const Node &a = *n->kids[0];
-            const Node &b = *n->kids[1];
+        if (n.kind == ExprKind::Cmp) {
+            const Node &a = pool_[size_t(n.kid0)];
+            const Node &b = pool_[size_t(n.kid1)];
             const bool a_str =
                 (a.kind == ExprKind::ColRef &&
                  a.colv->type() == TypeId::String) ||
@@ -439,58 +871,59 @@ BoundExpr::BoundExpr(ExprPtr e, const Chunk &chunk, const ParamMap *params)
                 (b.kind == ExprKind::ColRef &&
                  b.colv->type() == TypeId::String) ||
                 (b.kind == ExprKind::Const && b.literal.isString());
-            n->stringCmp = a_str && b_str;
-            if (n->stringCmp && a.kind == ExprKind::ColRef &&
+            n.stringCmp = a_str && b_str;
+            if (n.stringCmp && a.kind == ExprKind::ColRef &&
                 b.kind == ExprKind::Const && a.colv->dict()) {
                 const uint32_t code =
                     a.colv->dict()->lookup(b.literal.asString());
-                n->constCode =
+                n.constCode =
                     code == UINT32_MAX ? int64_t(-1) : int64_t(code);
             }
         }
-        if (n->kind == ExprKind::Like || n->kind == ExprKind::SubstrIn) {
-            if (n->colv->type() != TypeId::String || !n->colv->dict())
+        if (n.kind == ExprKind::Like || n.kind == ExprKind::SubstrIn) {
+            if (n.colv->type() != TypeId::String || !n.colv->dict())
                 panic("LIKE/SUBSTR on non-string column");
-            const StringDict &d = *n->colv->dict();
-            n->dictMatch.resize(d.size(), 0);
+            const StringDict &d = *n.colv->dict();
+            n.dictMatch.resize(d.size(), 0);
             for (uint32_t c = 0; c < d.size(); ++c) {
                 const std::string &s = d.at(c);
                 bool m;
-                if (n->kind == ExprKind::Like) {
-                    m = likeMatch(s, n->pattern);
+                if (n.kind == ExprKind::Like) {
+                    m = likeMatch(s, n.pattern);
                 } else {
                     const std::string sub = s.substr(
-                        size_t(n->substrPos - 1),
-                        size_t(n->substrLen));
-                    m = std::find(n->inStrings.begin(),
-                                  n->inStrings.end(),
-                                  sub) != n->inStrings.end();
+                        size_t(n.substrPos - 1),
+                        size_t(n.substrLen));
+                    m = std::find(n.inStrings.begin(),
+                                  n.inStrings.end(),
+                                  sub) != n.inStrings.end();
                 }
-                n->dictMatch[c] = m ? 1 : 0;
+                n.dictMatch[c] = m ? 1 : 0;
             }
         }
-        if (n->kind == ExprKind::SubstrInt) {
-            if (n->colv->type() != TypeId::String || !n->colv->dict())
+        if (n.kind == ExprKind::SubstrInt) {
+            if (n.colv->type() != TypeId::String || !n.colv->dict())
                 panic("SUBSTR-INT on non-string column");
-            const StringDict &d = *n->colv->dict();
-            n->dictValue.resize(d.size(), 0.0);
+            const StringDict &d = *n.colv->dict();
+            n.dictValue.resize(d.size(), 0.0);
             for (uint32_t c = 0; c < d.size(); ++c) {
                 const std::string sub = d.at(c).substr(
-                    size_t(n->substrPos - 1), size_t(n->substrLen));
-                n->dictValue[c] = double(std::atoll(sub.c_str()));
+                    size_t(n.substrPos - 1), size_t(n.substrLen));
+                n.dictValue[c] = double(std::atoll(sub.c_str()));
             }
         }
-        if (n->kind == ExprKind::InList && !n->inStrings.empty()) {
-            if (n->colv->type() != TypeId::String || !n->colv->dict())
+        if (n.kind == ExprKind::InList && !n.inStrings.empty()) {
+            if (n.colv->type() != TypeId::String || !n.colv->dict())
                 panic("IN string list on non-string column");
-            for (const auto &s : n->inStrings) {
-                const uint32_t c = n->colv->dict()->lookup(s);
+            for (const auto &s : n.inStrings) {
+                const uint32_t c = n.colv->dict()->lookup(s);
                 if (c != UINT32_MAX)
-                    n->inCodes.push_back(int64_t(c));
+                    n.inCodes.push_back(int64_t(c));
             }
-            n->inCodesValid = true;
+            n.inCodesValid = true;
         }
-        return n;
+        pool_.push_back(std::move(n));
+        return int32_t(pool_.size() - 1);
     };
     root_ = bind(*e);
 }
@@ -498,24 +931,37 @@ BoundExpr::BoundExpr(ExprPtr e, const Chunk &chunk, const ParamMap *params)
 bool
 BoundExpr::evalBool(size_t i) const
 {
-    return evalB(*root_, i);
+    return evalB(pool_, pool_[size_t(root_)], i);
 }
 
 double
 BoundExpr::evalNumeric(size_t i) const
 {
-    return evalNum(*root_, i);
+    return evalNum(pool_, pool_[size_t(root_)], i);
+}
+
+void
+BoundExpr::filterSel(std::vector<uint32_t> &sel) const
+{
+    if (root_ >= 0 && !sel.empty())
+        filterNode(pool_, root_, sel);
+}
+
+void
+BoundExpr::evalNumericSel(const uint32_t *sel, size_t n,
+                          double *out) const
+{
+    if (root_ >= 0 && n > 0)
+        numericNode(pool_, root_, sel, n, out);
 }
 
 std::vector<uint32_t>
 filterRows(const ExprPtr &e, const Chunk &chunk, const ParamMap *params)
 {
     BoundExpr be(e, chunk, params);
-    std::vector<uint32_t> sel;
-    const size_t n = chunk.rows();
-    for (size_t i = 0; i < n; ++i)
-        if (be.evalBool(i))
-            sel.push_back(uint32_t(i));
+    std::vector<uint32_t> sel(chunk.rows());
+    std::iota(sel.begin(), sel.end(), 0u);
+    be.filterSel(sel);
     return sel;
 }
 
@@ -526,9 +972,10 @@ evalColumn(const ExprPtr &e, const Chunk &chunk, const std::string &name,
     BoundExpr be(e, chunk, params);
     ColumnVector out = ColumnVector::doubles(name);
     const size_t n = chunk.rows();
-    out.reserve(n);
-    for (size_t i = 0; i < n; ++i)
-        out.doubles().push_back(be.evalNumeric(i));
+    out.doubles().resize(n);
+    std::vector<uint32_t> sel(n);
+    std::iota(sel.begin(), sel.end(), 0u);
+    be.evalNumericSel(sel.data(), n, out.doubles().data());
     return out;
 }
 

@@ -109,22 +109,54 @@ using ParamMap = std::map<std::string, Value>;
 int exprSize(const Expr &e);
 
 /**
- * Row-wise evaluator bound to a chunk. Column references are resolved
- * once at bind time.
+ * Expression evaluator bound to a chunk. Binding compiles the tree
+ * into a flat node pool (children stored by index, no per-node
+ * shared_ptr) and resolves column references, parameters, and
+ * dictionary fast paths once.
+ *
+ * Two evaluation paths share the pool:
+ *
+ *  - The **vectorized path** (filterSel / evalNumericSel) processes a
+ *    whole selection vector per node: comparisons run as tight typed
+ *    loops, AND/OR short-circuit column-at-a-time on the shrinking
+ *    selection, arithmetic lands in scratch column buffers. This is
+ *    what the executor uses.
+ *  - The **scalar path** (evalBool / evalNumeric) interprets the pool
+ *    one row at a time. It is retained as the reference oracle for
+ *    the differential tests and for one-off row evaluations.
+ *
+ * Selection vectors are strictly increasing row indices into the
+ * bound chunk; every kernel preserves that invariant.
  */
 class BoundExpr
 {
   public:
     BoundExpr(ExprPtr e, const Chunk &chunk, const ParamMap *params);
+    ~BoundExpr();
+    BoundExpr(BoundExpr &&) noexcept;
+    BoundExpr &operator=(BoundExpr &&) noexcept;
 
-    /** Evaluate as a boolean at row i. */
+    /** Evaluate as a boolean at row i (scalar reference path). */
     bool evalBool(size_t i) const;
 
-    /** Evaluate as a numeric (double) at row i. */
+    /** Evaluate as a numeric (double) at row i (scalar reference). */
     double evalNumeric(size_t i) const;
 
     /** Evaluate as int64 at row i. */
     int64_t evalInt(size_t i) const { return int64_t(evalNumeric(i)); }
+
+    /**
+     * Vectorized filter: shrink `sel` in place to the rows where the
+     * expression is true. `sel` must be strictly increasing.
+     */
+    void filterSel(std::vector<uint32_t> &sel) const;
+
+    /**
+     * Vectorized numeric evaluation: out[i] = value at row sel[i],
+     * for i in [0, n). `sel` must be strictly increasing.
+     */
+    void evalNumericSel(const uint32_t *sel, size_t n,
+                        double *out) const;
 
     int size() const { return size_; }
 
@@ -132,7 +164,8 @@ class BoundExpr
     struct Node;
 
   private:
-    std::shared_ptr<Node> root_;
+    std::vector<Node> pool_; ///< post-order; root is the last node
+    int32_t root_ = -1;
     int size_ = 0;
 };
 

@@ -484,6 +484,83 @@ TEST_F(ExecTest, PlanPrinterShowsParallelMarkers)
     EXPECT_NE(s.find("Scan orders"), std::string::npos);
 }
 
+TEST_F(ExecTest, HashJoinOnDoubleKey)
+{
+    // Regression: hash_row used to call intAt unconditionally, so a
+    // Double join key read the (empty) int storage. Double keys must
+    // hash/compare by value, with -0.0 matching +0.0.
+    auto &m = resolver.add("meas", Schema({{"mkey", TypeId::Double},
+                                           {"mtag", TypeId::Int64}}));
+    m.owned->append({0.5, int64_t(1)});
+    m.owned->append({1.5, int64_t(2)});
+    m.owned->append({-0.0, int64_t(3)});
+    m.owned->append({2.5, int64_t(4)});
+    auto &c = resolver.add("cal", Schema({{"ckey", TypeId::Double},
+                                          {"cval", TypeId::Int64}}));
+    c.owned->append({1.5, int64_t(20)});
+    c.owned->append({0.0, int64_t(30)});
+    c.owned->append({9.9, int64_t(40)});
+
+    auto plan = PlanBuilder::scan("meas", {"mkey", "mtag"})
+                    .join(PlanBuilder::scan("cal", {"ckey", "cval"}),
+                          JoinType::Inner, {"mkey"}, {"ckey"})
+                    .build();
+    Chunk out = runPlan(std::move(plan));
+    ASSERT_EQ(out.rows(), 2u); // 1.5 and (-0.0 == 0.0)
+    for (size_t i = 0; i < out.rows(); ++i)
+        EXPECT_EQ(out.byName("mkey").doubleAt(i),
+                  out.byName("ckey").doubleAt(i));
+    EXPECT_EQ(out.byName("mtag").intAt(0), 2);
+    EXPECT_EQ(out.byName("cval").intAt(1), 30);
+}
+
+TEST_F(ExecTest, HashJoinMixedIntDoubleKeys)
+{
+    // An Int64 key column joined against a Double key column: the
+    // pair is promoted to double comparison, so 3 matches 3.0.
+    auto &m = resolver.add("ileft", Schema({{"ik", TypeId::Int64}}));
+    m.owned->append({int64_t(1)});
+    m.owned->append({int64_t(3)});
+    m.owned->append({int64_t(5)});
+    auto &c = resolver.add("dright", Schema({{"dk", TypeId::Double}}));
+    c.owned->append({3.0});
+    c.owned->append({4.0});
+    c.owned->append({5.0});
+
+    auto plan = PlanBuilder::scan("ileft", {"ik"})
+                    .join(PlanBuilder::scan("dright", {"dk"}),
+                          JoinType::Inner, {"ik"}, {"dk"})
+                    .build();
+    Chunk out = runPlan(std::move(plan));
+    ASSERT_EQ(out.rows(), 2u);
+    EXPECT_EQ(out.byName("ik").intAt(0), 3);
+    EXPECT_DOUBLE_EQ(out.byName("dk").doubleAt(0), 3.0);
+    EXPECT_EQ(out.byName("ik").intAt(1), 5);
+}
+
+TEST_F(ExecTest, HashJoinCompositeIntDoubleKey)
+{
+    // Composite (Int64, Double) key: only exact pairs match.
+    auto &m = resolver.add("cleft", Schema({{"ck", TypeId::Int64},
+                                            {"cd", TypeId::Double}}));
+    m.owned->append({int64_t(1), 0.25});
+    m.owned->append({int64_t(1), 0.75});
+    m.owned->append({int64_t(2), 0.25});
+    auto &c = resolver.add("cright", Schema({{"rk", TypeId::Int64},
+                                             {"rd", TypeId::Double}}));
+    c.owned->append({int64_t(1), 0.25});
+    c.owned->append({int64_t(2), 0.75});
+
+    auto plan = PlanBuilder::scan("cleft", {"ck", "cd"})
+                    .join(PlanBuilder::scan("cright", {"rk", "rd"}),
+                          JoinType::Inner, {"ck", "cd"}, {"rk", "rd"})
+                    .build();
+    Chunk out = runPlan(std::move(plan));
+    ASSERT_EQ(out.rows(), 1u);
+    EXPECT_EQ(out.byName("ck").intAt(0), 1);
+    EXPECT_DOUBLE_EQ(out.byName("cd").doubleAt(0), 0.25);
+}
+
 TEST_F(ExecTest, ClonePlanIsDeepAndEquivalent)
 {
     auto plan = PlanBuilder::scan("orders", {"okey", "custkey"})
