@@ -59,10 +59,12 @@ missRateWithPolicy(const AccessTrace &trace, int llc_mb, bool aged)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dbsens;
     using namespace dbsens::bench;
+
+    BenchContext ctx(argc, argv, "bench_ablation");
 
     // ------------------------------------------------------------ A1/A2
     banner("A1/A2: LLC insertion policy and CAT masks (TPC-H SF=30)");
@@ -81,6 +83,7 @@ main()
                         "miss (LRU-like)"});
         double last_aged = 1.0;
         bool monotone = true;
+        Json points = Json::array();
         for (int mb : {2, 6, 12, 20, 40}) {
             const double aged = missRateWithPolicy(trace, mb, true);
             const double lru = missRateWithPolicy(trace, mb, false);
@@ -88,10 +91,19 @@ main()
             if (aged > last_aged + 0.02)
                 monotone = false;
             last_aged = aged;
+            Json pt = Json::object();
+            pt["llc_mb"] = Json(mb);
+            pt["miss_scan_resistant"] = Json(aged);
+            pt["miss_lru_like"] = Json(lru);
+            points.push(std::move(pt));
         }
         t.print(std::cout);
         std::printf("CAT monotonicity (A2): %s\n",
                     monotone ? "holds" : "VIOLATED");
+        Json a12 = Json::object();
+        a12["points"] = std::move(points);
+        a12["cat_monotone"] = Json(monotone);
+        ctx.results()["a1_a2_llc_policy"] = std::move(a12);
         note("A1: the scan-resistant column drops much further by "
              "40 MB — without it the reusable working set is flushed "
              "by streaming scans and the Figure 2 knees flatten.");
@@ -117,6 +129,7 @@ main()
         };
         TablePrinter t({"stall fraction", "t(16 cores) ms",
                         "t(32 cores) ms", "HT effect"});
+        Json points = Json::array();
         for (double s : {0.0, 0.4, 0.8}) {
             const double t16 = run_mix(16, s);
             const double t32 = run_mix(32, s);
@@ -125,8 +138,15 @@ main()
                 .cell(t16, 2)
                 .cell(t32, 2)
                 .cell(t32 < t16 ? "helps" : "hurts");
+            Json pt = Json::object();
+            pt["stall_fraction"] = Json(s);
+            pt["t16_ms"] = Json(t16);
+            pt["t32_ms"] = Json(t32);
+            pt["ht_helps"] = Json(t32 < t16);
+            points.push(std::move(pt));
         }
         t.print(std::cout);
+        ctx.results()["a3_smt_interference"] = std::move(points);
         note("compute-bound work loses from SMT sharing, stall-heavy "
              "work gains — the mechanism behind Figure 2a's sign flip. "
              "A flat model would print the same effect in every row.");
@@ -153,6 +173,12 @@ main()
                     (unsigned long long)commits,
                     (unsigned long long)flushes,
                     flushes ? double(commits) / double(flushes) : 0.0);
+        Json a4 = Json::object();
+        a4["commits"] = Json(commits);
+        a4["flushes"] = Json(flushes);
+        a4["commits_per_flush"] = Json(
+            flushes ? double(commits) / double(flushes) : 0.0);
+        ctx.results()["a4_group_commit"] = std::move(a4);
         note("without group commit every transaction would pay a full "
              "flush: the Section 6 write-limit TPS drops (-6%/-44%) "
              "would instead be order-of-magnitude collapses.");

@@ -15,7 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "core/json.h"
 #include "core/table_printer.h"
+#include "core/trace.h"
 #include "harness/oltp_runner.h"
 #include "harness/tpch_driver.h"
 #include "workloads/asdb/asdb.h"
@@ -89,6 +91,216 @@ note(const std::string &text)
 {
     std::printf("%s\n", text.c_str());
 }
+
+// --------------------------------------------------- JSON run reports
+
+/** Config knobs as report JSON. */
+inline Json
+toJson(const RunConfig &cfg)
+{
+    Json j = Json::object();
+    j["cores"] = Json(cfg.cores);
+    j["llc_mb"] = Json(cfg.llcMb);
+    j["maxdop"] = Json(cfg.maxdop);
+    j["grant_fraction"] = Json(cfg.grantFraction);
+    j["ssd_read_limit_bps"] = Json(cfg.ssdReadLimitBps);
+    j["ssd_write_limit_bps"] = Json(cfg.ssdWriteLimitBps);
+    j["duration_ms"] = Json(double(cfg.duration) / 1e6);
+    j["warmup_ms"] = Json(double(cfg.warmup) / 1e6);
+    j["sample_interval_ms"] = Json(double(cfg.sampleInterval) / 1e6);
+    j["seed"] = Json(cfg.seed);
+    return j;
+}
+
+/** Sampled series as mean + percentiles. */
+inline Json
+toJson(const Distribution &d)
+{
+    Json j = Json::object();
+    j["count"] = Json(uint64_t(d.count()));
+    j["mean"] = Json(d.mean());
+    j["p10"] = Json(d.quantile(0.1));
+    j["p25"] = Json(d.quantile(0.25));
+    j["p50"] = Json(d.quantile(0.5));
+    j["p75"] = Json(d.quantile(0.75));
+    j["p90"] = Json(d.quantile(0.9));
+    j["p99"] = Json(d.quantile(0.99));
+    j["max"] = Json(d.quantile(1.0));
+    return j;
+}
+
+/** Wait breakdown by class, in ms (matches the printed tables). */
+inline Json
+toJson(const WaitStats &w)
+{
+    Json j = Json::object();
+    for (size_t i = 0; i < size_t(WaitClass::kCount); ++i) {
+        const auto c = WaitClass(i);
+        Json e = Json::object();
+        e["total_ms"] = Json(double(w.totalNs(c)) / 1e6);
+        e["count"] = Json(w.count(c));
+        j[waitClassName(c)] = std::move(e);
+    }
+    j["contention_ms"] = Json(double(w.contentionNs()) / 1e6);
+    return j;
+}
+
+/** One OLTP run's reduced metrics. */
+inline Json
+toJson(const OltpRunResult &r)
+{
+    Json j = Json::object();
+    j["tps"] = Json(r.tps);
+    j["qps"] = Json(r.qps);
+    j["aborts_per_s"] = Json(r.aborts);
+    j["mpki"] = Json(r.mpki);
+    j["avg_ssd_read_bps"] = Json(r.avgSsdReadBps);
+    j["avg_ssd_write_bps"] = Json(r.avgSsdWriteBps);
+    j["avg_dram_bps"] = Json(r.avgDramBps);
+    j["lock_timeouts"] = Json(r.lockTimeouts);
+    j["waits"] = toJson(r.waits);
+    Json series = Json::object();
+    series["ssd_read_Bps"] = toJson(r.ssdRead);
+    series["ssd_write_Bps"] = toJson(r.ssdWrite);
+    series["dram_Bps"] = toJson(r.dram);
+    j["series"] = std::move(series);
+    return j;
+}
+
+/** One TPC-H throughput run's reduced metrics. */
+inline Json
+toJson(const TpchRunResult &r)
+{
+    Json j = Json::object();
+    j["qps"] = Json(r.qps);
+    j["mpki"] = Json(r.mpki);
+    j["avg_ssd_read_bps"] = Json(r.avgSsdReadBps);
+    j["avg_ssd_write_bps"] = Json(r.avgSsdWriteBps);
+    j["avg_dram_bps"] = Json(r.avgDramBps);
+    Json series = Json::object();
+    series["ssd_read_Bps"] = toJson(r.ssdRead);
+    series["ssd_write_Bps"] = toJson(r.ssdWrite);
+    series["dram_Bps"] = toJson(r.dram);
+    j["series"] = std::move(series);
+    return j;
+}
+
+/** Per-query profile summary (per-operator feature vector). */
+inline Json
+toJson(const QueryProfile &p)
+{
+    Json j = Json::object();
+    j["name"] = Json(p.name);
+    j["result_rows"] = Json(p.resultRows);
+    j["total_instructions"] = Json(p.totalInstructions());
+    j["total_read_bytes"] = Json(p.totalReadBytes());
+    j["total_mem_required"] = Json(p.totalMemRequired());
+    Json ops = Json::array();
+    for (const auto &op : p.ops) {
+        Json o = Json::object();
+        o["label"] = Json(op.label);
+        o["instructions"] = Json(op.instructions);
+        o["cache_touches"] = Json(op.cacheTouches);
+        o["io_read_bytes"] = Json(op.ioReadBytes);
+        o["io_write_bytes"] = Json(op.ioWriteBytes);
+        o["rows_in"] = Json(op.rowsIn);
+        o["rows_out"] = Json(op.rowsOut);
+        o["exchange_rows"] = Json(op.exchangeRows);
+        o["mem_required"] = Json(op.memRequired);
+        o["parallelizable"] = Json(op.parallelizable);
+        ops.push(std::move(o));
+    }
+    j["operators"] = std::move(ops);
+    return j;
+}
+
+/**
+ * Per-binary harness for the machine-readable outputs: parses
+ * `--json <path>` (run report) and `--trace <path>` (Chrome
+ * trace-event JSON), collects results the bench records, and writes
+ * both files in finish(). With neither flag the bench behaves exactly
+ * as before — the human tables are always printed.
+ */
+class BenchContext
+{
+  public:
+    BenchContext(int argc, char **argv, const std::string &bench_name)
+        : name_(bench_name)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--json" && i + 1 < argc) {
+                jsonPath_ = argv[++i];
+            } else if (arg == "--trace" && i + 1 < argc) {
+                tracePath_ = argv[++i];
+            } else if (arg == "--help" || arg == "-h") {
+                std::printf("usage: %s [--json <report.json>] "
+                            "[--trace <trace.json>]\n",
+                            bench_name.c_str());
+                std::exit(0);
+            } else {
+                fatal(bench_name + ": unknown argument '" + arg +
+                      "' (try --help)");
+            }
+        }
+        report_["bench"] = Json(name_);
+        report_["schema_version"] = Json(1);
+        report_["config"] = Json::object();
+        report_["results"] = Json::object();
+        if (!tracePath_.empty()) {
+            recorder_ = std::make_unique<TraceRecorder>();
+            TraceRecorder::setActive(recorder_.get());
+        }
+    }
+
+    ~BenchContext() { finish(); }
+
+    BenchContext(const BenchContext &) = delete;
+    BenchContext &operator=(const BenchContext &) = delete;
+
+    /** True when a machine-readable report was requested. */
+    bool jsonRequested() const { return !jsonPath_.empty(); }
+
+    /** Config knobs section (shared sweep settings etc.). */
+    Json &config() { return report_["config"]; }
+
+    /** Results section; benches insert named entries. */
+    Json &results() { return report_["results"]; }
+
+    Json &report() { return report_; }
+
+    /** Write the report and trace (idempotent; ~dtor calls it). */
+    void
+    finish()
+    {
+        if (finished_)
+            return;
+        finished_ = true;
+        if (recorder_) {
+            TraceRecorder::setActive(nullptr);
+            if (!recorder_->writeFile(tracePath_))
+                warn(name_ + ": failed to write trace to " + tracePath_);
+            else
+                note("trace written to " + tracePath_ + " (" +
+                     std::to_string(recorder_->eventCount()) +
+                     " events; open in Perfetto)");
+        }
+        if (!jsonPath_.empty()) {
+            if (!report_.writeFile(jsonPath_, 2))
+                warn(name_ + ": failed to write report to " + jsonPath_);
+            else
+                note("report written to " + jsonPath_);
+        }
+    }
+
+  private:
+    std::string name_;
+    std::string jsonPath_;
+    std::string tracePath_;
+    Json report_ = Json::object();
+    std::unique_ptr<TraceRecorder> recorder_;
+    bool finished_ = false;
+};
 
 } // namespace bench
 } // namespace dbsens

@@ -15,10 +15,14 @@
 #include "sweeps.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dbsens;
     using namespace dbsens::bench;
+
+    BenchContext ctx(argc, argv, "bench_fig2_cores_cache");
+    ctx.config()["oltp"] = toJson(oltpConfig());
+    ctx.config()["tpch"] = toJson(tpchConfig());
 
     // ------------------------------------------------------- TPC-H
     const double paper_ht_ratio[] = {1.72, 1.27, 0.93, 0.82};
@@ -46,6 +50,12 @@ main()
         printSeries("Fig 2b/2c: TPC-H SF=" + std::to_string(sf) +
                         " QPS and MPKI vs LLC allocation (MB)",
                     "LLC MB", "QPS", cache, true);
+
+        Json entry = Json::object();
+        entry["cores_sweep"] = toJson(cores);
+        entry["cache_sweep"] = toJson(cache);
+        ctx.results()["TPC-H sf" + std::to_string(sf)] =
+            std::move(entry);
     }
 
     // ---------------------------------------------- OLTP workloads
@@ -87,6 +97,12 @@ main()
                             " SF=" + std::to_string(sf) +
                             " TPS and MPKI vs LLC allocation (MB)",
                         "LLC MB", "TPS", cache, true);
+
+            Json entry = Json::object();
+            entry["cores_sweep"] = toJson(cores);
+            entry["cache_sweep"] = toJson(cache);
+            ctx.results()[std::string(spec.name) + " sf" +
+                          std::to_string(sf)] = std::move(entry);
         }
     }
 

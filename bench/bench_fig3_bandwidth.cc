@@ -9,10 +9,14 @@
 #include "sweeps.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dbsens;
     using namespace dbsens::bench;
+
+    BenchContext ctx(argc, argv, "bench_fig3_bandwidth");
+    ctx.config()["oltp"] = toJson(oltpConfig());
+    ctx.config()["tpch"] = toJson(tpchConfig());
 
     banner("Figure 3: bandwidth utilization vs performance");
 
@@ -20,6 +24,7 @@ main()
     for (int sf : {100, 300}) {
         note("\npreparing TPC-H SF=" + std::to_string(sf) + "...");
         TpchDriver driver(sf);
+        Json points = Json::array();
 
         TablePrinter t({"driven by", "setting", "QPS", "SSD rd MB/s",
                         "SSD wr MB/s", "DRAM GB/s"});
@@ -35,6 +40,11 @@ main()
                 .cell(r.avgSsdReadBps / 1e6, 0)
                 .cell(r.avgSsdWriteBps / 1e6, 0)
                 .cell(r.avgDramBps / 1e9, 2);
+            Json pt = Json::object();
+            pt["driven_by"] = Json("cores");
+            pt["setting"] = Json(cores);
+            pt["run"] = toJson(r);
+            points.push(std::move(pt));
         }
         for (int mb : {4, 12, 24, 40}) {
             RunConfig cfg = tpchConfig();
@@ -47,9 +57,16 @@ main()
                 .cell(r.avgSsdReadBps / 1e6, 0)
                 .cell(r.avgSsdWriteBps / 1e6, 0)
                 .cell(r.avgDramBps / 1e9, 2);
+            Json pt = Json::object();
+            pt["driven_by"] = Json("llc_mb");
+            pt["setting"] = Json(mb);
+            pt["run"] = toJson(r);
+            points.push(std::move(pt));
         }
         banner("TPC-H SF=" + std::to_string(sf));
         t.print(std::cout);
+        ctx.results()["TPC-H sf" + std::to_string(sf)] =
+            std::move(points);
     }
 
     // ASDB: SF2000 and SF6000.
@@ -57,6 +74,7 @@ main()
         note("\npreparing ASDB SF=" + std::to_string(sf) + "...");
         asdb::AsdbWorkload wl(sf);
         auto db = wl.generate(1);
+        Json points = Json::array();
 
         TablePrinter t({"driven by", "setting", "TPS", "SSD rd MB/s",
                         "SSD wr MB/s", "DRAM GB/s"});
@@ -71,6 +89,11 @@ main()
                 .cell(r.avgSsdReadBps / 1e6, 0)
                 .cell(r.avgSsdWriteBps / 1e6, 0)
                 .cell(r.avgDramBps / 1e9, 2);
+            Json pt = Json::object();
+            pt["driven_by"] = Json("cores");
+            pt["setting"] = Json(cores);
+            pt["run"] = toJson(r);
+            points.push(std::move(pt));
         }
         for (int mb : {4, 12, 24, 40}) {
             RunConfig cfg = oltpConfig();
@@ -83,9 +106,16 @@ main()
                 .cell(r.avgSsdReadBps / 1e6, 0)
                 .cell(r.avgSsdWriteBps / 1e6, 0)
                 .cell(r.avgDramBps / 1e9, 2);
+            Json pt = Json::object();
+            pt["driven_by"] = Json("llc_mb");
+            pt["setting"] = Json(mb);
+            pt["run"] = toJson(r);
+            points.push(std::move(pt));
         }
         banner("ASDB SF=" + std::to_string(sf));
         t.print(std::cout);
+        ctx.results()["ASDB sf" + std::to_string(sf)] =
+            std::move(points);
     }
 
     note("\nShape checks: bandwidths rise with core-driven performance; "

@@ -30,10 +30,14 @@ printCdf(TablePrinter &t, const std::string &name,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dbsens;
     using namespace dbsens::bench;
+
+    BenchContext ctx(argc, argv, "bench_fig4_cdf");
+    ctx.config()["oltp"] = toJson(oltpConfig());
+    ctx.config()["tpch"] = toJson(tpchConfig());
 
     banner("Figure 4: bandwidth CDFs, full core + LLC allocations");
     TablePrinter t({"workload", "metric", "p10", "p25", "p50", "p75",
@@ -45,6 +49,7 @@ main()
         const auto r = driver.runStreams(tpchConfig(), 3);
         printCdf(t, "TPC-H " + std::to_string(sf), r.ssdRead,
                  r.ssdWrite, r.dram);
+        ctx.results()["TPC-H sf" + std::to_string(sf)] = toJson(r);
     }
 
     const struct
@@ -64,6 +69,8 @@ main()
             printCdf(t,
                      std::string(spec.name) + " " + std::to_string(sf),
                      r.ssdRead, r.ssdWrite, r.dram);
+            ctx.results()[std::string(spec.name) + " sf" +
+                          std::to_string(sf)] = toJson(r);
         }
     }
 

@@ -12,10 +12,13 @@
 #include "sweeps.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dbsens;
     using namespace dbsens::bench;
+
+    BenchContext ctx(argc, argv, "bench_fig6_maxdop");
+    ctx.config()["tpch"] = toJson(tpchConfig());
 
     const std::vector<int> dops = {1, 2, 4, 8, 16, 32};
 
@@ -32,6 +35,7 @@ main()
         TablePrinter t(header);
 
         int flat_queries = 0;
+        Json queries = Json::array();
         for (int q = 1; q <= tpch::kQueryCount; ++q) {
             RunConfig cfg = tpchConfig();
             cfg.cores = 32;
@@ -40,6 +44,7 @@ main()
             auto &row = t.row().cell("Q" + std::to_string(q));
             double t1 = 0;
             std::string serial_dops;
+            Json speedups = Json::array();
             for (int d : dops) {
                 RunConfig c2 = tpchConfig();
                 c2.cores = d;
@@ -48,6 +53,10 @@ main()
                 if (d == 1)
                     t1 = dur;
                 row.cell(dur > 0 ? base / dur : 0.0, 2);
+                Json pt = Json::object();
+                pt["dop"] = Json(d);
+                pt["speedup"] = Json(dur > 0 ? base / dur : 0.0);
+                speedups.push(std::move(pt));
                 if (!driver.profile(q, d).parallelPlan)
                     serial_dops += (serial_dops.empty() ? "" : ",") +
                                    std::to_string(d);
@@ -55,11 +64,22 @@ main()
             row.cell(serial_dops.empty() ? "-" : serial_dops);
             if (t1 > 0 && base / t1 > 0.9)
                 ++flat_queries; // dop-insensitive
+            Json qj = Json::object();
+            qj["query"] = Json(q);
+            qj["base_ns"] = Json(base);
+            qj["speedups"] = std::move(speedups);
+            qj["serial_plan_dops"] = Json(serial_dops);
+            queries.push(std::move(qj));
         }
         t.print(std::cout);
         std::printf("queries insensitive to MAXDOP at SF=%d: %d "
                     "(paper: 5 at SF=10, ~0 at SF>=100)\n",
                     sf, flat_queries);
+        Json entry = Json::object();
+        entry["queries"] = std::move(queries);
+        entry["flat_queries"] = Json(flat_queries);
+        ctx.results()["TPC-H sf" + std::to_string(sf)] =
+            std::move(entry);
     }
 
     note("\nShape checks: flat rows at small SF where serial plans are "

@@ -15,10 +15,13 @@
 #include "workloads/tpch/tpch_queries.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dbsens;
     using namespace dbsens::bench;
+
+    BenchContext ctx(argc, argv, "bench_fig7_plans");
+    ctx.config()["tpch_sf"] = Json(300);
 
     note("generating TPC-H SF=300 (plan choice uses its statistics)...");
     auto db = tpch::generate(300);
@@ -65,5 +68,15 @@ main()
                 "less)\n",
                 m1 / 1e6, m32 / 1e6,
                 m32 > 0 ? 100.0 * (1.0 - m1 / m32) : 0.0);
+
+    if (ctx.jsonRequested()) {
+        ctx.results()["serial_signature"] = Json(s1);
+        ctx.results()["parallel_signature"] = Json(s32);
+        ctx.results()["plans_differ"] = Json(s1 != s32);
+        ctx.results()["serial_mem_bytes"] = Json(m1);
+        ctx.results()["parallel_mem_bytes"] = Json(m32);
+        ctx.results()["serial_profile"] = toJson(p1.profile);
+        ctx.results()["parallel_profile"] = toJson(p32.profile);
+    }
     return 0;
 }

@@ -21,10 +21,12 @@
 #include "workloads/tpch/tpch_queries.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dbsens;
     using namespace dbsens::bench;
+
+    BenchContext ctx(argc, argv, "bench_pitfalls");
 
     // ------------------------------------------------- Pitfall #2
     banner("Pitfall #2: analytical workload on a row store");
@@ -64,6 +66,12 @@ main()
         t.row().cell("row store").cell(row_qps, 3).cell(
             col.qps > 0 ? row_qps / col.qps : 0, 2);
         t.print(std::cout);
+        Json p2 = Json::object();
+        p2["column_store_qps"] = Json(col.qps);
+        p2["row_store_qps"] = Json(row_qps);
+        p2["row_store_relative"] =
+            Json(col.qps > 0 ? row_qps / col.qps : 0.0);
+        ctx.results()["pitfall2_row_store"] = std::move(p2);
         note("row-store DSS pays full-width row I/O and loses "
              "compression: misleadingly low throughput.");
     }
@@ -76,6 +84,7 @@ main()
         asdb::AsdbWorkload wl(2000);
         auto db = wl.generate(1);
         TablePrinter t({"cores", "TPS (NVMe)", "TPS (30 MB/s writes)"});
+        Json points = Json::array();
         for (int cores : {4, 8, 16, 32}) {
             RunConfig a = oltpConfig();
             a.cores = cores;
@@ -85,8 +94,14 @@ main()
             b.ssdWriteLimitBps = 30e6;
             const double hdd = runOltpOn(wl, *db, b).tps;
             t.row().cell(cores).cell(nvme, 0).cell(hdd, 0);
+            Json pt = Json::object();
+            pt["cores"] = Json(cores);
+            pt["tps_nvme"] = Json(nvme);
+            pt["tps_write_limited"] = Json(hdd);
+            points.push(std::move(pt));
         }
         t.print(std::cout);
+        ctx.results()["pitfall3_4_write_bandwidth"] = std::move(points);
         note("with the write limit, the cores column stops paying off: "
              "log hardening is the bottleneck even though the database "
              "fits in memory (pitfall #4).");
@@ -115,6 +130,12 @@ main()
         t.row().cell("forced serial plan").cell(forced / 1e6, 2).cell(
             adaptive > 0 ? adaptive / forced : 0, 2);
         t.print(std::cout);
+        Json p6 = Json::object();
+        p6["adaptive_ms"] = Json(adaptive / 1e6);
+        p6["forced_serial_ms"] = Json(forced / 1e6);
+        p6["forced_speedup"] =
+            Json(forced > 0 ? adaptive / forced : 0.0);
+        ctx.results()["pitfall6_plan_changes"] = std::move(p6);
         note("treating the DBMS as a black box (pitfall #7) misses "
              "this adaptation entirely.");
     }

@@ -10,10 +10,12 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dbsens;
     using namespace dbsens::bench;
+
+    BenchContext ctx(argc, argv, "bench_table3_waits");
 
     banner("Table 3: TPC-E wait times, SF=15000 relative to SF=5000");
 
@@ -67,6 +69,21 @@ main()
 
     std::printf("\nTPS: SF5000 %.0f, SF15000 %.0f\n", small.tps,
                 large.tps);
+
+    if (ctx.jsonRequested()) {
+        RunConfig cfg = oltpConfig();
+        cfg.cores = 32;
+        cfg.llcMb = 40;
+        ctx.config()["workload"] = Json("TPC-E");
+        ctx.config()["run"] = toJson(cfg);
+        ctx.results()["sf5000"] = toJson(small);
+        ctx.results()["sf15000"] = toJson(large);
+        Json ratios = Json::object();
+        for (const auto &r : rows)
+            ratios[waitClassName(r.c)] = Json(ratio(r.c));
+        ratios["contention"] = Json(sl > 0 ? ll / sl : 0.0);
+        ctx.results()["wait_ratios"] = std::move(ratios);
+    }
     note("Shape check: LOCK ratio << 1 (contention thins out at the "
          "larger scale factor) while PAGEIOLATCH ratio >> 1 (data no "
          "longer fits in memory) — the paper's Table 3 structure.\n"

@@ -39,26 +39,42 @@ paperFor(const char *name, int sf, int *mb90, int *mb95)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dbsens;
     using namespace dbsens::bench;
+
+    BenchContext ctx(argc, argv, "bench_table4_sufficient_llc");
+    ctx.config()["oltp"] = toJson(oltpConfig());
+    ctx.config()["tpch"] = toJson(tpchConfig());
 
     banner("Table 4: sufficient LLC capacity with 32 cores");
 
     TablePrinter t({"workload", "SF", ">=90% (MB)", ">=95% (MB)",
                     "paper >=90%", "paper >=95%"});
 
+    Json rows = Json::array();
     auto add = [&](const char *name, int sf, const Series &cache) {
         int p90 = 0, p95 = 0;
         paperFor(name, sf, &p90, &p95);
+        const int mb90 = sufficientLlc(cache, 0.90);
+        const int mb95 = sufficientLlc(cache, 0.95);
         t.row()
             .cell(name)
             .cell(sf)
-            .cell(sufficientLlc(cache, 0.90))
-            .cell(sufficientLlc(cache, 0.95))
+            .cell(mb90)
+            .cell(mb95)
             .cell(p90)
             .cell(p95);
+        Json row = Json::object();
+        row["workload"] = Json(name);
+        row["sf"] = Json(sf);
+        row["mb_90"] = Json(mb90);
+        row["mb_95"] = Json(mb95);
+        row["paper_mb_90"] = Json(p90);
+        row["paper_mb_95"] = Json(p95);
+        row["cache_sweep"] = toJson(cache);
+        rows.push(std::move(row));
     };
 
     const struct
@@ -84,6 +100,7 @@ main()
     }
 
     t.print(std::cout);
+    ctx.results()["sufficient_llc"] = std::move(rows);
     note("\nShape check: every workload reaches 90% well below the "
          "full 40 MB (over-provisioned LLC); analytical/hybrid "
          "workloads need somewhat more than transactional ones.");

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Wall-clock benchmarks of the executor hot path: vectorized
+ * expression kernels and flat hash tables versus the shapes they
+ * replaced (per-row tree interpretation, std::unordered_multimap
+ * joins, std::unordered_map<std::vector> aggregation).
+ *
+ * Kept in a separate translation unit from bench_wallclock.cc on
+ * purpose: this file includes only the kernel headers under test, so
+ * header growth elsewhere (engine, stats, tracing) cannot shift the
+ * compiler's inlining decisions for the timed loops.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/random.h"
+#include "exec/expr.h"
+#include "exec/flat_hash.h"
+#include "wallclock_params.h"
+
+namespace dbsens {
+namespace {
+
+constexpr size_t kRows = kWallclockRows;
+constexpr size_t kBuildRows = kWallclockBuildRows;
+
+uint64_t
+hashCombine(uint64_t h, uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4);
+    return h * 0xff51afd7ed558ccdULL;
+}
+
+/** 1M-row lineitem-shaped chunk (TPC-H Q6 predicate columns). */
+const Chunk &
+testChunk()
+{
+    static const Chunk chunk = [] {
+        Rng rng(42);
+        Chunk c;
+        c.addColumn(ColumnVector::ints("ship"));
+        c.addColumn(ColumnVector::ints("qty"));
+        c.addColumn(ColumnVector::doubles("disc"));
+        c.addColumn(ColumnVector::doubles("price"));
+        auto &ship = c.byName("ship");
+        auto &qty = c.byName("qty");
+        auto &disc = c.byName("disc");
+        auto &price = c.byName("price");
+        for (size_t i = 0; i < kRows; ++i) {
+            ship.ints().push_back(int64_t(rng.range(8000, 11000)));
+            qty.ints().push_back(int64_t(rng.range(1, 50)));
+            disc.doubles().push_back(double(rng.range(0, 10)) / 100.0);
+            price.doubles().push_back(double(rng.range(100, 10000)));
+        }
+        return c;
+    }();
+    return chunk;
+}
+
+/** TPC-H Q6-shaped predicate over testChunk(). */
+ExprPtr
+q6Pred()
+{
+    return land(land(ge(col("ship"), lit(int64_t(9000))),
+                     lt(col("ship"), lit(int64_t(9365)))),
+                land(between(col("disc"), Value(0.05), Value(0.07)),
+                     lt(col("qty"), lit(int64_t(24)))));
+}
+
+struct JoinData
+{
+    std::vector<int64_t> build, probe;
+};
+
+const JoinData &
+joinData()
+{
+    static const JoinData d = [] {
+        Rng rng(7);
+        JoinData jd;
+        jd.build.resize(kBuildRows);
+        jd.probe.resize(kRows);
+        for (auto &k : jd.build)
+            k = int64_t(rng.range(0, 1 << 19));
+        for (auto &k : jd.probe)
+            k = int64_t(rng.range(0, 1 << 19));
+        return jd;
+    }();
+    return d;
+}
+
+// ------------------------------------------------------ filter kernels
+
+void
+BM_FilterScalarRef(benchmark::State &state)
+{
+    const Chunk &chunk = testChunk();
+    BoundExpr be(q6Pred(), chunk, nullptr);
+    size_t matches = 0;
+    for (auto _ : state) {
+        std::vector<uint32_t> sel;
+        for (size_t i = 0; i < chunk.rows(); ++i)
+            if (be.evalBool(i))
+                sel.push_back(uint32_t(i));
+        matches = sel.size();
+        benchmark::DoNotOptimize(sel.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(chunk.rows()));
+    state.counters["matches"] = double(matches);
+}
+BENCHMARK(BM_FilterScalarRef)->Repetitions(3);
+
+void
+BM_FilterVectorized(benchmark::State &state)
+{
+    const Chunk &chunk = testChunk();
+    auto pred = q6Pred();
+    size_t matches = 0;
+    for (auto _ : state) {
+        auto sel = filterRows(pred, chunk);
+        matches = sel.size();
+        benchmark::DoNotOptimize(sel.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(chunk.rows()));
+    state.counters["matches"] = double(matches);
+}
+BENCHMARK(BM_FilterVectorized)->Repetitions(3);
+
+void
+BM_EvalColumn(benchmark::State &state)
+{
+    const Chunk &chunk = testChunk();
+    auto proj = mul(col("price"), sub(lit(1.0), col("disc")));
+    for (auto _ : state) {
+        auto cv = evalColumn(proj, chunk, "x");
+        benchmark::DoNotOptimize(cv.doubles().data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(chunk.rows()));
+}
+BENCHMARK(BM_EvalColumn)->Repetitions(3);
+
+// ---------------------------------------------------------- agg kernels
+
+/** Seed shape: unordered_map over heap-allocated vector keys. */
+void
+BM_HashAggRef(benchmark::State &state)
+{
+    struct VecHash
+    {
+        size_t
+        operator()(const std::vector<int64_t> &v) const
+        {
+            uint64_t h = 0xA66;
+            for (int64_t x : v)
+                h = hashCombine(h, uint64_t(x));
+            return size_t(h);
+        }
+    };
+    const Chunk &chunk = testChunk();
+    const ColumnVector &kc = chunk.byName("qty");
+    const ColumnVector &kc2 = chunk.byName("ship");
+    const ColumnVector &vc = chunk.byName("price");
+    size_t ngroups = 0;
+    for (auto _ : state) {
+        std::unordered_map<std::vector<int64_t>, size_t, VecHash> index;
+        std::vector<std::vector<int64_t>> group_keys;
+        std::vector<double> sums;
+        std::vector<int64_t> key(2);
+        for (size_t i = 0; i < kRows; ++i) {
+            key[0] = kc.intAt(i);
+            key[1] = kc2.intAt(i) % 8;
+            size_t g;
+            auto it = index.find(key);
+            if (it == index.end()) {
+                g = group_keys.size();
+                group_keys.push_back(key);
+                sums.push_back(0);
+                index.emplace(key, g);
+            } else {
+                g = it->second;
+            }
+            sums[g] += vc.doubleAt(i);
+        }
+        ngroups = group_keys.size();
+        benchmark::DoNotOptimize(sums.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(kRows));
+    state.counters["groups"] = double(ngroups);
+}
+BENCHMARK(BM_HashAggRef)->Repetitions(3);
+
+/** New shape: FlatGroupMap over a flat packed key array. */
+void
+BM_HashAggFlat(benchmark::State &state)
+{
+    const Chunk &chunk = testChunk();
+    const int64_t *kc = chunk.byName("qty").ints().data();
+    const int64_t *kc2 = chunk.byName("ship").ints().data();
+    const double *vc = chunk.byName("price").doubles().data();
+    size_t ngroups = 0;
+    for (auto _ : state) {
+        FlatGroupMap index(1024);
+        std::vector<int64_t> group_keys; // stride 2
+        std::vector<double> sums;
+        for (size_t i = 0; i < kRows; ++i) {
+            const int64_t k0 = kc[i], k1 = kc2[i] % 8;
+            uint64_t h = hashCombine(0xA66, uint64_t(k0));
+            h = hashCombine(h, uint64_t(k1));
+            bool inserted = false;
+            const uint32_t g = index.findOrInsert(
+                h, uint32_t(sums.size()),
+                [&](uint32_t gid) {
+                    const int64_t *gk =
+                        group_keys.data() + size_t(gid) * 2;
+                    return gk[0] == k0 && gk[1] == k1;
+                },
+                inserted);
+            if (inserted) {
+                group_keys.push_back(k0);
+                group_keys.push_back(k1);
+                sums.push_back(0);
+            }
+            sums[g] += vc[i];
+        }
+        ngroups = sums.size();
+        benchmark::DoNotOptimize(sums.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(kRows));
+    state.counters["groups"] = double(ngroups);
+}
+BENCHMARK(BM_HashAggFlat)->Repetitions(3);
+
+// --------------------------------------------------------- join kernels
+
+/** Seed shape: unordered_multimap from hash to build row. */
+void
+BM_HashJoinRef(benchmark::State &state)
+{
+    const JoinData &jd = joinData();
+    size_t pairs = 0;
+    for (auto _ : state) {
+        std::unordered_multimap<uint64_t, uint32_t> ht;
+        ht.reserve(kBuildRows);
+        for (uint32_t i = 0; i < kBuildRows; ++i)
+            ht.emplace(hashCombine(0x51ed, uint64_t(jd.build[i])), i);
+        std::vector<uint32_t> lsel, rsel;
+        for (uint32_t i = 0; i < kRows; ++i) {
+            auto [lo, hi] = ht.equal_range(
+                hashCombine(0x51ed, uint64_t(jd.probe[i])));
+            for (auto it = lo; it != hi; ++it) {
+                if (jd.build[it->second] != jd.probe[i])
+                    continue;
+                lsel.push_back(i);
+                rsel.push_back(it->second);
+            }
+        }
+        pairs = lsel.size();
+        benchmark::DoNotOptimize(lsel.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(kRows));
+    state.counters["pairs"] = double(pairs);
+}
+BENCHMARK(BM_HashJoinRef)->Repetitions(3);
+
+/**
+ * Build and probe phases of the flat join, outlined so each phase
+ * compiles as its own function: keeps the timed loops' codegen stable
+ * regardless of what else lands in this translation unit, and stops
+ * the phases from competing for registers in one giant function.
+ */
+__attribute__((noinline)) void
+flatJoinBuild(FlatMultiMap &ht, const JoinData &jd)
+{
+    ht.reserve(kBuildRows);
+    for (uint32_t i = 0; i < kBuildRows; ++i)
+        ht.insert(hashCombine(0x51ed, uint64_t(jd.build[i])), i);
+}
+
+__attribute__((noinline)) void
+flatJoinProbe(const FlatMultiMap &ht, const JoinData &jd,
+              std::vector<uint32_t> &lsel, std::vector<uint32_t> &rsel)
+{
+    for (uint32_t i = 0; i < kRows; ++i) {
+        ht.forEachMatch(
+            hashCombine(0x51ed, uint64_t(jd.probe[i])),
+            [&](uint32_t b) {
+                if (jd.build[b] == jd.probe[i]) {
+                    lsel.push_back(i);
+                    rsel.push_back(b);
+                }
+                return true;
+            });
+    }
+}
+
+/** New shape: FlatMultiMap with insertion-order match replay. */
+void
+BM_HashJoinFlat(benchmark::State &state)
+{
+    const JoinData &jd = joinData();
+    size_t pairs = 0;
+    for (auto _ : state) {
+        FlatMultiMap ht;
+        flatJoinBuild(ht, jd);
+        std::vector<uint32_t> lsel, rsel;
+        lsel.reserve(kRows);
+        rsel.reserve(kRows);
+        flatJoinProbe(ht, jd, lsel, rsel);
+        pairs = lsel.size();
+        benchmark::DoNotOptimize(lsel.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(kRows));
+    state.counters["pairs"] = double(pairs);
+}
+BENCHMARK(BM_HashJoinFlat)->Repetitions(3);
+
+} // namespace
+} // namespace dbsens

@@ -110,6 +110,21 @@ printSeries(const std::string &title, const char *xlabel,
     t.print(std::cout);
 }
 
+/** A sweep series as report JSON: [{x, perf, mpki}, ...]. */
+inline Json
+toJson(const Series &s)
+{
+    Json arr = Json::array();
+    for (const auto &p : s) {
+        Json e = Json::object();
+        e["x"] = Json(p.x);
+        e["perf"] = Json(p.perf);
+        e["mpki"] = Json(p.mpki);
+        arr.push(std::move(e));
+    }
+    return arr;
+}
+
 /** Smallest allocation reaching `frac` of the 40 MB performance. */
 inline int
 sufficientLlc(const Series &cache_series, double frac)

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Shared sizes for the wall-clock benchmark binary. The kernel
+ * benchmarks live in bench_wallclock_kernels.cc — a deliberately
+ * light translation unit (no engine headers) so that unrelated
+ * header growth cannot perturb the kernels' codegen — while
+ * bench_wallclock.cc holds the end-to-end benchmarks and the JSON
+ * reporter.
+ */
+
+#ifndef DBSENS_BENCH_WALLCLOCK_PARAMS_H
+#define DBSENS_BENCH_WALLCLOCK_PARAMS_H
+
+#include <cstddef>
+
+namespace dbsens {
+
+inline constexpr size_t kWallclockRows = 1 << 20;
+inline constexpr size_t kWallclockBuildRows = 1 << 18;
+
+} // namespace dbsens
+
+#endif // DBSENS_BENCH_WALLCLOCK_PARAMS_H

@@ -13,6 +13,7 @@
 
 #include "engine/database.h"
 #include "engine/query_runner.h"
+#include "engine/sim_run.h"
 #include "opt/plan_printer.h"
 
 using namespace dbsens;

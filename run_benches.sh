@@ -3,8 +3,17 @@
 #
 #   ./run_benches.sh            all paper benches + micro
 #   ./run_benches.sh wallclock  host wall-clock bench -> BENCH_wallclock.json
+#   ./run_benches.sh report     all paper benches with --json, merged
+#                               into BENCH_report.json (+ reports/*.json)
 set -u
 cd "$(dirname "$0")"
+
+PAPER_BENCHES="bench_table2_sizes bench_table3_waits \
+    bench_fig2_cores_cache bench_table4_sufficient_llc \
+    bench_fig3_bandwidth bench_fig4_cdf \
+    bench_fig5_readbw bench_fig6_maxdop \
+    bench_fig7_plans bench_fig8_memgrant \
+    bench_pitfalls bench_ablation"
 
 if [ "${1:-}" = "wallclock" ]; then
     build/bench/bench_wallclock > BENCH_wallclock.json \
@@ -13,14 +22,28 @@ if [ "${1:-}" = "wallclock" ]; then
     exit 0
 fi
 
-for b in build/bench/bench_table2_sizes build/bench/bench_table3_waits \
-         build/bench/bench_fig2_cores_cache build/bench/bench_table4_sufficient_llc \
-         build/bench/bench_fig3_bandwidth build/bench/bench_fig4_cdf \
-         build/bench/bench_fig5_readbw build/bench/bench_fig6_maxdop \
-         build/bench/bench_fig7_plans build/bench/bench_fig8_memgrant \
-         build/bench/bench_pitfalls build/bench/bench_ablation \
-         build/bench/bench_micro; do
+if [ "${1:-}" = "report" ]; then
+    # Run every paper bench with --json and collect the per-bench
+    # reports into one BENCH_report.json (next to BENCH_wallclock.json
+    # from the wallclock mode).
+    mkdir -p reports
+    collected=""
+    for b in $PAPER_BENCHES; do
+        echo ""
+        echo "##### $b (--json) #####"
+        if "build/bench/$b" --json "reports/$b.json"; then
+            collected="$collected reports/$b.json"
+        else
+            echo "BENCH FAILED: $b" >&2
+        fi
+    done
+    # shellcheck disable=SC2086
+    build/tools/report_tool merge BENCH_report.json $collected
+    exit 0
+fi
+
+for b in $PAPER_BENCHES bench_micro; do
     echo ""
-    echo "##### $b #####"
-    "$b" || echo "BENCH FAILED: $b"
+    echo "##### build/bench/$b #####"
+    "build/bench/$b" || echo "BENCH FAILED: $b"
 done

@@ -1,8 +1,30 @@
 #include "core/logging.h"
 
+#include "core/stats.h"
+
 namespace dbsens {
 
-int logVerbosity = 0;
+namespace {
+
+/**
+ * Initial verbosity from the DBSENS_VERBOSE environment variable
+ * ("1"/"2", or any non-empty value for level 1). Tests and benches
+ * may still assign logVerbosity directly afterwards.
+ */
+int
+verbosityFromEnv()
+{
+    const char *env = std::getenv("DBSENS_VERBOSE");
+    if (!env || !*env)
+        return 0;
+    if (env[0] >= '0' && env[0] <= '9')
+        return env[0] - '0';
+    return 1;
+}
+
+} // namespace
+
+int logVerbosity = verbosityFromEnv();
 
 namespace detail {
 
@@ -31,12 +53,14 @@ fatal(const std::string &msg)
 void
 warn(const std::string &msg)
 {
+    globalStats().counter("log.warn_count").inc();
     detail::logLine("warn", msg);
 }
 
 void
 inform(const std::string &msg)
 {
+    globalStats().counter("log.inform_count").inc();
     if (logVerbosity >= 1)
         detail::logLine("info", msg);
 }

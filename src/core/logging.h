@@ -15,7 +15,11 @@
 
 namespace dbsens {
 
-/** Global verbosity: 0 = quiet, 1 = inform, 2 = debug. */
+/**
+ * Global verbosity: 0 = quiet, 1 = inform, 2 = debug. Initialized
+ * from the DBSENS_VERBOSE environment variable ("1"/"2"; any other
+ * non-empty value means 1); tests and benches may assign it directly.
+ */
 extern int logVerbosity;
 
 namespace detail {

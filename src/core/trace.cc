@@ -1,0 +1,135 @@
+#include "core/trace.h"
+
+#include <algorithm>
+
+namespace dbsens {
+
+TraceRecorder *TraceRecorder::active_ = nullptr;
+
+void
+TraceRecorder::record(Event e)
+{
+    maxEndNs_ = std::max(maxEndNs_, e.startNs + e.durNs);
+    events_.push_back(std::move(e));
+}
+
+void
+TraceRecorder::beginRun(const std::string &label)
+{
+    offsetNs_ = maxEndNs_;
+    Event e;
+    e.phase = 'i';
+    e.track = kEngineTrack;
+    e.category = "run";
+    e.name = label;
+    e.startNs = offsetNs_;
+    e.durNs = 0;
+    record(std::move(e));
+}
+
+void
+TraceRecorder::complete(int track, const char *category, std::string name,
+                        SimTime start_ns, SimTime end_ns)
+{
+    if (end_ns <= start_ns)
+        return; // zero-length spans clutter the viewer
+    Event e;
+    e.phase = 'X';
+    e.track = track;
+    e.category = category;
+    e.name = std::move(name);
+    e.startNs = start_ns + offsetNs_;
+    e.durNs = end_ns - start_ns;
+    record(std::move(e));
+}
+
+void
+TraceRecorder::complete(int track, const char *category, std::string name,
+                        SimTime start_ns, SimTime end_ns,
+                        const char *arg_key, double arg_value)
+{
+    if (end_ns <= start_ns)
+        return;
+    Event e;
+    e.phase = 'X';
+    e.track = track;
+    e.category = category;
+    e.name = std::move(name);
+    e.startNs = start_ns + offsetNs_;
+    e.durNs = end_ns - start_ns;
+    e.hasArg = true;
+    e.argKey = arg_key;
+    e.argValue = arg_value;
+    record(std::move(e));
+}
+
+void
+TraceRecorder::instant(int track, const char *category, std::string name,
+                       SimTime at_ns)
+{
+    Event e;
+    e.phase = 'i';
+    e.track = track;
+    e.category = category;
+    e.name = std::move(name);
+    e.startNs = at_ns + offsetNs_;
+    e.durNs = 0;
+    record(std::move(e));
+}
+
+Json
+TraceRecorder::toJson() const
+{
+    Json events = Json::array();
+
+    // Track-name metadata so the viewer labels the rows.
+    auto thread_name = [](int tid, const char *name) {
+        Json m = Json::object();
+        m["ph"] = Json("M");
+        m["pid"] = Json(0);
+        m["tid"] = Json(tid);
+        m["name"] = Json("thread_name");
+        Json args = Json::object();
+        args["name"] = Json(name);
+        m["args"] = std::move(args);
+        return m;
+    };
+    events.push(thread_name(kEngineTrack, "engine (waits/grants/wal)"));
+    events.push(thread_name(kIoTrack, "ssd"));
+
+    for (const auto &e : events_) {
+        Json j = Json::object();
+        j["ph"] = Json(std::string(1, e.phase));
+        j["pid"] = Json(0);
+        j["tid"] = Json(e.track);
+        j["cat"] = Json(e.category);
+        j["name"] = Json(e.name);
+        // Simulated ns -> trace us, keeping ns precision.
+        j["ts"] = Json(double(e.startNs) / 1000.0);
+        if (e.phase == 'X')
+            j["dur"] = Json(double(e.durNs) / 1000.0);
+        if (e.phase == 'i')
+            j["s"] = Json("t"); // instant scope: thread
+        if (e.hasArg) {
+            Json args = Json::object();
+            args[e.argKey] = Json(e.argValue);
+            j["args"] = std::move(args);
+        }
+        events.push(std::move(j));
+    }
+
+    Json root = Json::object();
+    root["traceEvents"] = std::move(events);
+    root["displayTimeUnit"] = Json("ns");
+    return root;
+}
+
+bool
+TraceRecorder::writeFile(const std::string &path) const
+{
+    // Compact output: traces are large and the viewer does not need
+    // pretty-printing.
+    return toJson().writeFile(path, -1);
+}
+
+} // namespace dbsens

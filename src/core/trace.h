@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Per-run trace-event recording of simulated-time spans — operator
+ * execution, waits (tagged with the WaitClass), SSD I/O, grant
+ * queueing, WAL flushes — serialized as Chrome trace-event JSON so a
+ * run opens directly in Perfetto / chrome://tracing.
+ *
+ * Recording is opt-in via a process-global active recorder. When no
+ * recorder is active (the default) every instrumentation site reduces
+ * to a single null-pointer check, so simulated results and wallclock
+ * are unchanged. Instrumentation sites follow the pattern:
+ *
+ *     if (auto *tr = TraceRecorder::active())
+ *         tr->complete(TraceRecorder::kEngineTrack, "wait",
+ *                      waitClassName(wc), start, loop.now());
+ *
+ * Simulated nanoseconds map to trace microseconds (the Chrome format's
+ * `ts`/`dur` unit). Benches that run several SimRuns while tracing lay
+ * the runs out back-to-back on the timeline: SimRun calls beginRun()
+ * which shifts subsequent events past everything recorded so far.
+ */
+
+#ifndef DBSENS_CORE_TRACE_H
+#define DBSENS_CORE_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/json.h"
+#include "core/sim_time.h"
+
+namespace dbsens {
+
+/** Records Chrome trace-event spans against simulated time. */
+class TraceRecorder
+{
+  public:
+    /** Well-known tracks (Chrome `tid`s). */
+    static constexpr int kEngineTrack = 0; ///< waits, grants, WAL
+    static constexpr int kIoTrack = 1;     ///< SSD channel activity
+    static constexpr int kFirstQueryTrack = 16; ///< per-query tracks
+
+    /** Currently active recorder, or nullptr (tracing off). */
+    static TraceRecorder *active() { return active_; }
+
+    /** Install (or, with nullptr, remove) the active recorder. */
+    static void setActive(TraceRecorder *r) { active_ = r; }
+
+    /**
+     * Mark the start of a new SimRun: subsequent events are shifted
+     * so the run begins after everything recorded so far, and a
+     * run-boundary instant event labelled `label` is emitted.
+     */
+    void beginRun(const std::string &label);
+
+    /** A complete span ("X" event) on `track` over simulated time. */
+    void complete(int track, const char *category, std::string name,
+                  SimTime start_ns, SimTime end_ns);
+
+    /** Span with one numeric argument (e.g. bytes). */
+    void complete(int track, const char *category, std::string name,
+                  SimTime start_ns, SimTime end_ns, const char *arg_key,
+                  double arg_value);
+
+    /** An instant event ("i"). */
+    void instant(int track, const char *category, std::string name,
+                 SimTime at_ns);
+
+    /** Allocate a fresh per-query track id. */
+    int
+    newQueryTrack()
+    {
+        return nextQueryTrack_++;
+    }
+
+    size_t eventCount() const { return events_.size(); }
+
+    /** Build the {"traceEvents": [...]} document. */
+    Json toJson() const;
+
+    /** Serialize to a file; returns false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    struct Event
+    {
+        char phase;       // 'X' or 'i'
+        int track;
+        const char *category;
+        std::string name;
+        SimTime startNs;  // already offset-adjusted
+        SimDuration durNs;
+        bool hasArg = false;
+        const char *argKey = nullptr;
+        double argValue = 0;
+    };
+
+    void record(Event e);
+
+    std::vector<Event> events_;
+    SimTime offsetNs_ = 0;   ///< current run's shift onto the timeline
+    SimTime maxEndNs_ = 0;   ///< high-water mark across all runs
+    int nextQueryTrack_ = kFirstQueryTrack;
+
+    static TraceRecorder *active_;
+};
+
+} // namespace dbsens
+
+#endif // DBSENS_CORE_TRACE_H

@@ -1,5 +1,7 @@
 #include "engine/grant_gate.h"
 
+#include "core/trace.h"
+
 namespace dbsens {
 
 namespace {
@@ -33,8 +35,13 @@ GrantGate::acquire(uint64_t bytes)
         co_return;
     }
     Waiter w{need, {}};
+    const SimTime start = loop_.now();
     co_await Park{&w, &waiters_};
     // pump() already deducted our bytes before resuming us.
+    if (auto *tr = TraceRecorder::active())
+        tr->complete(TraceRecorder::kEngineTrack, "grant",
+                     "grant.queue", start, loop_.now(), "bytes",
+                     double(need));
 }
 
 void

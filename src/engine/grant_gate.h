@@ -19,6 +19,7 @@
 #include <deque>
 
 #include "core/logging.h"
+#include "core/stats.h"
 #include "sim/event_loop.h"
 #include "sim/task.h"
 
@@ -50,6 +51,24 @@ class GrantGate
 
     /** Peak concurrent reservations observed (for reporting). */
     uint64_t peakReservedBytes() const { return peakReserved_; }
+
+    /** Register gauges under `prefix` (e.g. "grants"). */
+    void
+    registerStats(StatsRegistry &reg, const std::string &prefix) const
+    {
+        reg.gauge(prefix + ".capacity_bytes",
+                  [this] { return double(capacity_); },
+                  "query-memory pool size");
+        reg.gauge(prefix + ".free_bytes",
+                  [this] { return double(free_); },
+                  "unreserved query memory");
+        reg.gauge(prefix + ".peak_reserved_bytes",
+                  [this] { return double(peakReserved_); },
+                  "peak concurrent reservations");
+        reg.gauge(prefix + ".waiters",
+                  [this] { return double(waiters_.size()); },
+                  "queries queued for a grant");
+    }
 
     /** Wait-queue entry (public for the internal park awaitable). */
     struct Waiter

@@ -1,8 +1,11 @@
 #include "engine/query_runner.h"
 
+#include "engine/sim_run.h"
+
 #include <algorithm>
 #include <cmath>
 
+#include "core/trace.h"
 #include "opt/plan_printer.h"
 #include "sim/wait_group.h"
 
@@ -172,10 +175,16 @@ Task<void>
 replayQuery(SimRun &run, const QueryProfile &profile, ReplayParams params)
 {
     const uint64_t mem_share = memShareFor(profile, params.grantBytes);
+    // Tracing: the query gets its own track; operator spans nest
+    // inside the overall query span emitted at completion.
+    TraceRecorder *tr = TraceRecorder::active();
+    const int track = tr ? tr->newQueryTrack() : 0;
+    const SimTime query_start = run.loop.now();
     for (const auto &op : profile.ops) {
         const StageCost c = stageCost(op, params, mem_share);
         if (c.computeNs + c.stallNs <= 0 && c.ioRead + c.ioWrite == 0)
             continue;
+        const SimTime op_start = run.loop.now();
 
         WaitGroup wg(run.loop);
         // Worker startup (parallel stages pay per-worker setup).
@@ -213,8 +222,16 @@ replayQuery(SimRun &run, const QueryProfile &profile, ReplayParams params)
         run.instructionsRetired +=
             c.computeNs * calib::kBaseIpc * calib::kCoreFreqHz / 1e9;
         co_await wg.wait();
+        if (tr)
+            tr->complete(track, "operator", op.label, op_start,
+                         run.loop.now(), "workers", double(c.workers));
     }
     ++run.queriesCompleted;
+    if (tr)
+        tr->complete(track, "query",
+                     profile.name.empty() ? "query" : profile.name,
+                     query_start, run.loop.now(), "dop",
+                     double(params.dop));
 }
 
 } // namespace dbsens

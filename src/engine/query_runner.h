@@ -13,12 +13,18 @@
 #include <memory>
 #include <string>
 
+#include "core/calibration.h"
 #include "engine/database.h"
-#include "engine/sim_run.h"
 #include "exec/executor.h"
 #include "opt/optimizer.h"
+#include "sim/event_loop.h"
+#include "sim/ssd_model.h"
+#include "sim/task.h"
+#include "storage/buffer_pool.h"
 
 namespace dbsens {
+
+class SimRun;
 
 /** Result of optimizing + functionally executing one query. */
 struct ProfiledQuery

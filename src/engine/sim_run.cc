@@ -1,5 +1,7 @@
 #include "engine/sim_run.h"
 
+#include "core/trace.h"
+
 namespace dbsens {
 
 namespace {
@@ -35,6 +37,36 @@ SimRun::SimRun(Database &db, const RunConfig &cfg)
     db.bindPool(pool);
     if (cfg.prewarmBufferPool)
         pool.prewarm();
+
+    // Every component reports into the run's unified registry.
+    pool.registerStats(stats, "bufferpool");
+    ssd.registerStats(stats, "ssd");
+    dram.registerStats(stats, "dram");
+    cpu.registerStats(stats, "sched");
+    locks.registerStats(stats, "locks");
+    latches.registerStats(stats, "latches");
+    wal.registerStats(stats, "wal");
+    grants.registerStats(stats, "grants");
+    waits.registerStats(stats, "waits");
+    stats.gauge("llc.misses", [this] { return double(feed.misses()); },
+                "sampled LLC misses");
+    stats.gauge("run.txns_committed",
+                [this] { return double(txnsCommitted); },
+                "committed transactions");
+    stats.gauge("run.txns_aborted",
+                [this] { return double(txnsAborted); },
+                "aborted transactions");
+    stats.gauge("run.queries_completed",
+                [this] { return double(queriesCompleted); },
+                "completed analytical queries");
+    stats.gauge("run.instructions_retired",
+                [this] { return instructionsRetired; },
+                "estimated retired instructions");
+
+    if (auto *tr = TraceRecorder::active())
+        tr->beginRun("run cores=" + std::to_string(cfg.cores) +
+                     " llcMb=" + std::to_string(cfg.llcMb) +
+                     " maxdop=" + std::to_string(cfg.maxdop));
     loop.spawn(checkpointer(*this));
 }
 
@@ -46,18 +78,13 @@ SimRun::~SimRun()
 void
 SimRun::startSampling(double byte_scale)
 {
-    sampler.addCounter("ssd_read_Bps",
-                       [this] { return double(ssd.bytesRead()); },
-                       byte_scale);
-    sampler.addCounter("ssd_write_Bps",
-                       [this] { return double(ssd.bytesWritten()); },
-                       byte_scale);
-    sampler.addCounter("dram_Bps",
-                       [this] { return dram.totalBytes(); }, byte_scale);
-    sampler.addCounter("txns_per_s",
-                       [this] { return double(txnsCommitted); });
-    sampler.addCounter("queries_per_s",
-                       [this] { return double(queriesCompleted); });
+    sampler.addStat(stats, "ssd.read_bytes", byte_scale, "ssd_read_Bps");
+    sampler.addStat(stats, "ssd.write_bytes", byte_scale,
+                    "ssd_write_Bps");
+    sampler.addStat(stats, "dram.total_bytes", byte_scale, "dram_Bps");
+    sampler.addStat(stats, "run.txns_committed", 1.0, "txns_per_s");
+    sampler.addStat(stats, "run.queries_completed", 1.0,
+                    "queries_per_s");
     sampler.start();
 }
 

@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "core/calibration.h"
+#include "core/stats.h"
 #include "engine/database.h"
 #include "engine/grant_gate.h"
 #include "hw/cache_feed.h"
@@ -82,6 +83,14 @@ class SimRun
     WalWriter wal;
     MetricSampler sampler;
     WaitStats waits;
+    /**
+     * Unified per-run stats registry: every component above registers
+     * gauges here under a dotted prefix (`bufferpool.misses`,
+     * `ssd.read_bytes`, `sched.core3.busy_ns`, `waits.LOCK.total_ns`,
+     * ...). Reading it is side-effect free; the sampler and the JSON
+     * run report are views over it.
+     */
+    StatsRegistry stats;
 
     // Workload progress counters (read by the sampler and harness).
     uint64_t txnsCommitted = 0;
@@ -100,7 +109,8 @@ class SimRun
                         double(calib::queryMemoryRealBytes()));
     }
 
-    /** Register the standard counter set and start sampling. */
+    /** Register the standard counter set and start sampling. The
+     * sampled series are views over the stats registry. */
     void startSampling(double byte_scale);
 
     /**

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "engine/query_runner.h"
+#include "engine/sim_run.h"
 #include "workloads/tpch/tpch_gen.h"
 #include "workloads/tpch/tpch_queries.h"
 

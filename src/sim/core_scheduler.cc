@@ -136,6 +136,7 @@ CoreScheduler::consume(CpuWork work)
     cores_[core].stallFraction = work.stallFraction();
     const double dur = burstDurationNs(core, work);
     busyNs_ += dur;
+    cores_[core].busyNs += dur;
     workNs_ += work.totalNs();
     if (dram_ && work.dramBytes > 0)
         dram_->charge(socketOf(core), work.dramBytes);

@@ -24,6 +24,8 @@
 
 #include "core/calibration.h"
 #include "core/histogram.h"
+#include "core/logging.h"
+#include "core/stats.h"
 #include "sim/event_loop.h"
 
 namespace dbsens {
@@ -52,6 +54,22 @@ class MetricSampler
         counters_.push_back({name, std::move(fn), 0.0, scale});
     }
 
+    /**
+     * Register a stats-registry entry as a sampled counter: the
+     * sampler is a view over the registry, reading `stat` each tick
+     * and recording the delta * scale under `series_name` (defaults
+     * to the stat's own name). The registry must outlive sampling.
+     */
+    void
+    addStat(const StatsRegistry &reg, const std::string &stat,
+            double scale = 1.0, const std::string &series_name = "")
+    {
+        if (!reg.has(stat))
+            reg.value(stat); // panics with the registered-name list
+        addCounter(series_name.empty() ? stat : series_name,
+                   [&reg, stat] { return reg.value(stat); }, scale);
+    }
+
     /** Begin sampling (schedules the first tick one interval out). */
     void
     start()
@@ -69,7 +87,29 @@ class MetricSampler
     const Distribution &
     series(const std::string &name) const
     {
-        return series_.at(name);
+        auto it = series_.find(name);
+        if (it == series_.end()) {
+            std::string known;
+            for (const auto &[n, _] : series_) {
+                if (!known.empty())
+                    known += ", ";
+                known += n;
+            }
+            panic("MetricSampler::series: no series '" + name +
+                  "'; registered: [" + known + "]");
+        }
+        return it->second;
+    }
+
+    /** Names of all series recorded so far, sorted. */
+    std::vector<std::string>
+    seriesNames() const
+    {
+        std::vector<std::string> out;
+        out.reserve(series_.size());
+        for (const auto &[n, _] : series_)
+            out.push_back(n);
+        return out;
     }
 
     bool

@@ -1,5 +1,8 @@
 #include "sim/ssd_model.h"
 
+#include "core/stats.h"
+#include "core/trace.h"
+
 namespace dbsens {
 
 SimDuration
@@ -19,6 +22,10 @@ SsdModel::read(uint64_t bytes)
     bytesRead_ += bytes;
     ++readOps_;
     const SimDuration wait = reserve(readFree_, effectiveReadBw(), bytes);
+    if (auto *tr = TraceRecorder::active())
+        tr->complete(TraceRecorder::kIoTrack, "io", "ssd.read",
+                     loop_.now(), loop_.now() + wait, "bytes",
+                     double(bytes));
     co_await SimDelay(loop_, wait);
 }
 
@@ -28,7 +35,26 @@ SsdModel::write(uint64_t bytes)
     bytesWritten_ += bytes;
     ++writeOps_;
     const SimDuration wait = reserve(writeFree_, effectiveWriteBw(), bytes);
+    if (auto *tr = TraceRecorder::active())
+        tr->complete(TraceRecorder::kIoTrack, "io", "ssd.write",
+                     loop_.now(), loop_.now() + wait, "bytes",
+                     double(bytes));
     co_await SimDelay(loop_, wait);
+}
+
+void
+SsdModel::registerStats(StatsRegistry &reg, const std::string &prefix) const
+{
+    reg.gauge(prefix + ".read_bytes",
+              [this] { return double(bytesRead_); },
+              "cumulative bytes read");
+    reg.gauge(prefix + ".write_bytes",
+              [this] { return double(bytesWritten_); },
+              "cumulative bytes written");
+    reg.gauge(prefix + ".read_ops",
+              [this] { return double(readOps_); }, "read requests");
+    reg.gauge(prefix + ".write_ops",
+              [this] { return double(writeOps_); }, "write requests");
 }
 
 } // namespace dbsens

@@ -16,6 +16,7 @@
 #define DBSENS_SIM_SSD_MODEL_H
 
 #include <cstdint>
+#include <string>
 
 #include "core/calibration.h"
 #include "core/sim_time.h"
@@ -23,6 +24,8 @@
 #include "sim/task.h"
 
 namespace dbsens {
+
+class StatsRegistry;
 
 /** SSD bandwidth/latency model with cgroup-style limits. */
 class SsdModel
@@ -61,6 +64,9 @@ class SsdModel
     uint64_t bytesWritten() const { return bytesWritten_; }
     uint64_t readOps() const { return readOps_; }
     uint64_t writeOps() const { return writeOps_; }
+
+    /** Register gauges over this device under `prefix` (e.g. "ssd"). */
+    void registerStats(StatsRegistry &reg, const std::string &prefix) const;
 
   private:
     SimDuration reserve(SimTime &channel_free, double bw, uint64_t bytes);

@@ -1,6 +1,8 @@
 #include "storage/buffer_pool.h"
 
 #include "core/logging.h"
+#include "core/stats.h"
+#include "core/trace.h"
 
 namespace dbsens {
 
@@ -130,6 +132,10 @@ BufferPool::fix(PageId id, WaitStats *stats)
         co_await LoadWait(o.loadWaiters);
         if (stats)
             stats->add(WaitClass::PageIoLatch, loop_.now() - start);
+        if (auto *tr = TraceRecorder::active())
+            tr->complete(TraceRecorder::kEngineTrack, "wait",
+                         waitClassName(WaitClass::PageIoLatch), start,
+                         loop_.now(), "page", double(id));
         co_return;
     }
 
@@ -148,6 +154,10 @@ BufferPool::fix(PageId id, WaitStats *stats)
     o.loading = false;
     if (stats)
         stats->add(WaitClass::PageIoLatch, loop_.now() - start);
+    if (auto *tr = TraceRecorder::active())
+        tr->complete(TraceRecorder::kEngineTrack, "wait",
+                     waitClassName(WaitClass::PageIoLatch), start,
+                     loop_.now(), "page", double(id));
     touchLru(id, o);
     for (auto h : o.loadWaiters)
         loop_.post(h);
@@ -199,6 +209,29 @@ BufferPool::prewarm()
             break;
         admit(id, o);
     }
+}
+
+void
+BufferPool::registerStats(StatsRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.gauge(prefix + ".hits", [this] { return double(hits_); },
+              "accesses satisfied from memory");
+    reg.gauge(prefix + ".misses", [this] { return double(misses_); },
+              "accesses that required an SSD read");
+    reg.gauge(prefix + ".read_bytes",
+              [this] { return double(diskReadBytes_); },
+              "bytes read from SSD on misses");
+    reg.gauge(prefix + ".writeback_bytes",
+              [this] { return double(writebackBytes_); },
+              "dirty bytes written back");
+    reg.gauge(prefix + ".used_bytes", [this] { return double(used_); },
+              "resident bytes");
+    reg.gauge(prefix + ".dirty_bytes",
+              [this] { return double(dirtyBytes_); },
+              "resident dirty bytes");
+    reg.gauge(prefix + ".capacity_bytes",
+              [this] { return double(capacity_); }, "pool capacity");
 }
 
 uint64_t

@@ -9,8 +9,10 @@
 #ifndef DBSENS_TXN_LATCH_TABLE_H
 #define DBSENS_TXN_LATCH_TABLE_H
 
+#include <string>
 #include <vector>
 
+#include "core/stats.h"
 #include "core/types.h"
 #include "txn/sim_mutex.h"
 
@@ -27,6 +29,31 @@ class LatchTable
     {
         return latches_[size_t(page * 0x9e3779b97f4a7c15ULL %
                                latches_.size())];
+    }
+
+    /** Register gauges under `prefix` (e.g. "latches"). */
+    void
+    registerStats(StatsRegistry &reg, const std::string &prefix) const
+    {
+        reg.gauge(prefix + ".buckets",
+                  [this] { return double(latches_.size()); },
+                  "hashed latch buckets");
+        reg.gauge(prefix + ".held",
+                  [this] {
+                      double n = 0;
+                      for (const auto &m : latches_)
+                          n += m.held() ? 1 : 0;
+                      return n;
+                  },
+                  "latches currently held");
+        reg.gauge(prefix + ".waiters",
+                  [this] {
+                      double n = 0;
+                      for (const auto &m : latches_)
+                          n += double(m.waiterCount());
+                      return n;
+                  },
+                  "sessions queued on any latch");
     }
 
   private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/logging.h"
+#include "core/trace.h"
 
 namespace dbsens {
 
@@ -132,6 +133,11 @@ LockManager::acquire(TxnId txn, TableId table, RowId row, LockMode mode,
 
     if (stats)
         stats->add(WaitClass::Lock, loop_.now() - start);
+    if (auto *tr = TraceRecorder::active())
+        tr->complete(TraceRecorder::kEngineTrack, "wait",
+                     std::string(waitClassName(WaitClass::Lock)) + "(" +
+                         lockModeName(mode) + ")",
+                     start, loop_.now(), "txn", double(txn));
 
     const bool timed_out = entry->timedOut;
     const bool granted = entry->granted;

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/stats.h"
 #include "core/types.h"
 #include "sim/event_loop.h"
 #include "sim/task.h"
@@ -62,6 +63,20 @@ class LockManager
 
     /** Total lock acquisitions granted. */
     uint64_t grants() const { return grants_; }
+
+    /** Register gauges under `prefix` (e.g. "locks"). */
+    void
+    registerStats(StatsRegistry &reg, const std::string &prefix) const
+    {
+        reg.gauge(prefix + ".grants", [this] { return double(grants_); },
+                  "lock acquisitions granted");
+        reg.gauge(prefix + ".timeouts",
+                  [this] { return double(timeouts_); },
+                  "deadlock-resolution timeouts");
+        reg.gauge(prefix + ".queues",
+                  [this] { return double(queues_.size()); },
+                  "resources with holders or waiters");
+    }
 
     /** Wait-queue entry (public for the internal park awaitable). */
     struct Waiter

@@ -13,6 +13,7 @@
 #include <deque>
 
 #include "core/logging.h"
+#include "core/trace.h"
 #include "sim/event_loop.h"
 #include "txn/wait_stats.h"
 
@@ -56,8 +57,13 @@ class SimMutex
         void
         await_resume()
         {
-            if (start >= 0 && stats)
-                stats->add(wc, loop.now() - start);
+            if (start >= 0) {
+                if (stats)
+                    stats->add(wc, loop.now() - start);
+                if (auto *tr = TraceRecorder::active())
+                    tr->complete(TraceRecorder::kEngineTrack, "wait",
+                                 waitClassName(wc), start, loop.now());
+            }
         }
 
       private:

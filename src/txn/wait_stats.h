@@ -17,6 +17,8 @@
 
 namespace dbsens {
 
+class StatsRegistry;
+
 /** Wait classes tracked per run. */
 enum class WaitClass : uint8_t {
     Lock,        ///< row/table lock waits (LOCK_M_*)
@@ -74,6 +76,14 @@ class WaitStats
         for (auto &e : entries_)
             e = {};
     }
+
+    /**
+     * Register this accumulator as a registry view: per-class gauges
+     * `<prefix>.<CLASS>.total_ns` / `.count` plus the contention sum,
+     * so wait breakdowns read like any other stat
+     * (e.g. `waits.PAGEIOLATCH.total_ns`).
+     */
+    void registerStats(StatsRegistry &reg, const std::string &prefix) const;
 
   private:
     struct Entry

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/trace.h"
+
 namespace dbsens {
 
 namespace {
@@ -68,6 +70,10 @@ WalWriter::commit(uint64_t lsn, WaitStats *stats)
     co_await Park{this, lsn};
     if (stats)
         stats->add(WaitClass::WriteLog, loop_.now() - start);
+    if (auto *tr = TraceRecorder::active())
+        tr->complete(TraceRecorder::kEngineTrack, "wait",
+                     waitClassName(WaitClass::WriteLog), start,
+                     loop_.now(), "lsn", double(lsn));
 }
 
 Task<void>
@@ -82,9 +88,14 @@ WalWriter::flusherLoop()
             const uint64_t batch_end = appendedLsn_;
             const uint64_t bytes =
                 batch_end - flushedLsn_ + kFlushOverhead;
+            const SimTime start = loop_.now();
             co_await ssd_.write(bytes);
             flushedLsn_ = batch_end;
             ++flushCount_;
+            if (auto *tr = TraceRecorder::active())
+                tr->complete(TraceRecorder::kEngineTrack, "wal",
+                             "wal.flush", start, loop_.now(), "bytes",
+                             double(bytes));
         }
         // Release everyone whose LSN is now durable.
         auto it = std::partition(waiters_.begin(), waiters_.end(),

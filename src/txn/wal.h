@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/stats.h"
 #include "sim/event_loop.h"
 #include "sim/ssd_model.h"
 #include "sim/task.h"
@@ -54,6 +55,24 @@ class WalWriter
 
     /** Number of physical flush I/Os issued (group-commit batches). */
     uint64_t flushCount() const { return flushCount_; }
+
+    /** Register gauges under `prefix` (e.g. "wal"). */
+    void
+    registerStats(StatsRegistry &reg, const std::string &prefix) const
+    {
+        reg.gauge(prefix + ".appended_bytes",
+                  [this] { return double(appendedLsn_); },
+                  "end-of-log LSN");
+        reg.gauge(prefix + ".flushed_bytes",
+                  [this] { return double(flushedLsn_); },
+                  "durably flushed LSN");
+        reg.gauge(prefix + ".flushes",
+                  [this] { return double(flushCount_); },
+                  "group-commit flush I/Os");
+        reg.gauge(prefix + ".commit_waiters",
+                  [this] { return double(waiters_.size()); },
+                  "commits waiting on a flush");
+    }
 
   private:
     struct CommitWaiter

@@ -1,6 +1,7 @@
 #include "workloads/htap/htap.h"
 
 #include "engine/query_runner.h"
+#include "engine/sim_run.h"
 
 namespace dbsens {
 namespace htap {

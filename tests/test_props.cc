@@ -15,6 +15,7 @@
 
 #include "engine/database.h"
 #include "engine/query_runner.h"
+#include "engine/sim_run.h"
 #include "core/table_printer.h"
 #include "engine/txn_ctx.h"
 

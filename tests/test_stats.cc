@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the hierarchical stats registry (core/stats.h) and
+ * the JSON document model it serializes into (core/json.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/json.h"
+#include "core/logging.h"
+#include "core/stats.h"
+
+namespace dbsens {
+namespace {
+
+TEST(Json, BuildDumpParseRoundTrip)
+{
+    Json doc = Json::object();
+    doc["name"] = Json("bench \"x\"\n");
+    doc["count"] = Json(int64_t(42));
+    doc["ratio"] = Json(0.5);
+    doc["on"] = Json(true);
+    Json arr = Json::array();
+    arr.push(Json(1));
+    arr.push(Json(2.5));
+    arr.push(Json());
+    doc["items"] = std::move(arr);
+
+    const std::string text = doc.dump(2);
+    std::string err;
+    const Json back = Json::parse(text, &err);
+    EXPECT_TRUE(err.empty()) << err;
+    EXPECT_EQ(back.at("name").asString(), "bench \"x\"\n");
+    EXPECT_EQ(back.at("count").asInt(), 42);
+    EXPECT_DOUBLE_EQ(back.at("ratio").asDouble(), 0.5);
+    EXPECT_TRUE(back.at("on").asBool());
+    ASSERT_EQ(back.at("items").size(), 3u);
+    EXPECT_TRUE(back.at("items").at(2).isNull());
+    // Compact output parses too and has no whitespace padding.
+    const std::string compact = doc.dump();
+    EXPECT_EQ(compact.find('\n'), std::string::npos);
+    EXPECT_FALSE(Json::parse(compact, &err).isNull());
+    EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    Json doc = Json::object();
+    doc["zeta"] = Json(1);
+    doc["alpha"] = Json(2);
+    doc["mid"] = Json(3);
+    ASSERT_EQ(doc.members().size(), 3u);
+    EXPECT_EQ(doc.members()[0].first, "zeta");
+    EXPECT_EQ(doc.members()[1].first, "alpha");
+    EXPECT_EQ(doc.members()[2].first, "mid");
+}
+
+TEST(Json, ParseRejectsMalformed)
+{
+    std::string err;
+    Json::parse("{\"a\": }", &err);
+    EXPECT_FALSE(err.empty());
+    Json::parse("[1, 2", &err);
+    EXPECT_FALSE(err.empty());
+    Json::parse("{} trailing", &err);
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull)
+{
+    Json doc = Json::object();
+    doc["nan"] = Json(std::nan(""));
+    const std::string text = doc.dump();
+    EXPECT_NE(text.find("\"nan\":null"), std::string::npos) << text;
+}
+
+TEST(StatsRegistry, CounterRegistrationAndValue)
+{
+    StatsRegistry reg;
+    StatCounter &c = reg.counter("bufferpool.misses", "pool misses");
+    c.inc();
+    c.add(4);
+    EXPECT_TRUE(reg.has("bufferpool.misses"));
+    EXPECT_DOUBLE_EQ(reg.value("bufferpool.misses"), 5.0);
+    // Re-registering the same name returns the same counter.
+    reg.counter("bufferpool.misses").inc();
+    EXPECT_DOUBLE_EQ(c.value(), 6.0);
+}
+
+TEST(StatsRegistry, GaugeReadsLiveState)
+{
+    StatsRegistry reg;
+    double backing = 1.0;
+    reg.gauge("ssd.read_bytes", [&backing] { return backing; });
+    EXPECT_DOUBLE_EQ(reg.value("ssd.read_bytes"), 1.0);
+    backing = 7.5;
+    EXPECT_DOUBLE_EQ(reg.value("ssd.read_bytes"), 7.5);
+    // Re-registering replaces the callback (fresh SimRun re-binds).
+    reg.gauge("ssd.read_bytes", [] { return 99.0; });
+    EXPECT_DOUBLE_EQ(reg.value("ssd.read_bytes"), 99.0);
+    EXPECT_EQ(reg.names().size(), 1u);
+}
+
+TEST(StatsRegistry, HierarchyQueries)
+{
+    StatsRegistry reg;
+    reg.counter("sched.core0.busy_ns");
+    reg.counter("sched.core1.busy_ns");
+    reg.counter("sched.busy_cores");
+    reg.counter("sched_other.x"); // must NOT match prefix "sched"
+    reg.counter("ssd.read_bytes");
+
+    const auto under = reg.namesUnder("sched");
+    ASSERT_EQ(under.size(), 3u);
+    EXPECT_EQ(under[0], "sched.busy_cores");
+    EXPECT_EQ(under[1], "sched.core0.busy_ns");
+    EXPECT_EQ(under[2], "sched.core1.busy_ns");
+
+    const auto kids = reg.childrenOf("sched");
+    ASSERT_EQ(kids.size(), 3u);
+    EXPECT_EQ(kids[0], "busy_cores");
+    EXPECT_EQ(kids[1], "core0");
+    EXPECT_EQ(kids[2], "core1");
+
+    // Empty prefix matches everything.
+    EXPECT_EQ(reg.namesUnder("").size(), reg.names().size());
+}
+
+TEST(StatsRegistry, HistogramPercentiles)
+{
+    StatsRegistry reg;
+    StatHistogram &h = reg.histogram("latency_ns");
+    for (int i = 1; i <= 100; ++i)
+        h.add(double(i));
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+    EXPECT_GE(h.percentile(0.5), 49.0);
+    EXPECT_LE(h.percentile(0.5), 52.0);
+    EXPECT_GE(h.percentile(0.99), 98.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
+TEST(StatsRegistry, ResetZerosOwnedStatsNotGauges)
+{
+    StatsRegistry reg;
+    reg.counter("c").add(10);
+    reg.histogram("h").add(3.0);
+    double backing = 5.0;
+    reg.gauge("g", [&backing] { return backing; });
+
+    reg.reset();
+    EXPECT_DOUBLE_EQ(reg.value("c"), 0.0);
+    EXPECT_EQ(reg.histogramAt("h").count(), 0u);
+    EXPECT_DOUBLE_EQ(reg.value("g"), 5.0); // gauges read live state
+}
+
+TEST(StatsRegistry, UnknownNamePanicsListingRegistered)
+{
+    StatsRegistry reg;
+    reg.counter("known.one");
+    EXPECT_DEATH((void)reg.value("missing.stat"), "known.one");
+}
+
+TEST(StatsRegistry, ToJsonFollowsDottedHierarchy)
+{
+    StatsRegistry reg;
+    reg.counter("ssd.read_bytes").add(128);
+    reg.counter("ssd.write_bytes").add(64);
+    reg.counter("run.txns").add(3);
+    reg.histogram("waits.lock_ns").add(10.0);
+
+    const Json j = reg.toJson();
+    ASSERT_TRUE(j.contains("ssd"));
+    EXPECT_DOUBLE_EQ(j.at("ssd").at("read_bytes").asDouble(), 128.0);
+    EXPECT_DOUBLE_EQ(j.at("ssd").at("write_bytes").asDouble(), 64.0);
+    EXPECT_DOUBLE_EQ(j.at("run").at("txns").asDouble(), 3.0);
+    const Json &h = j.at("waits").at("lock_ns");
+    EXPECT_EQ(h.at("count").asInt(), 1);
+    EXPECT_DOUBLE_EQ(h.at("mean").asDouble(), 10.0);
+    // The dump must be parseable JSON.
+    std::string err;
+    Json::parse(j.dump(2), &err);
+    EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(StatsRegistry, GlobalRegistryCountsLogWarnings)
+{
+    StatsRegistry &g = globalStats();
+    const double before = g.has("log.warn_count")
+                              ? g.value("log.warn_count")
+                              : 0.0;
+    warn("test_stats warning");
+    EXPECT_DOUBLE_EQ(g.value("log.warn_count"), before + 1.0);
+}
+
+} // namespace
+} // namespace dbsens

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the trace-event recorder (core/trace.h): the emitted
+ * document is valid Chrome trace-event JSON, spans carry correct
+ * simulated timestamps, nested operator/query spans stay within each
+ * other, and multiple runs are laid out back-to-back.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/json.h"
+#include "core/trace.h"
+#include "sim/event_loop.h"
+#include "sim/ssd_model.h"
+
+namespace dbsens {
+namespace {
+
+/** Find the first "X" event with the given name; returns nullptr. */
+const Json *
+findSpan(const Json &events, const std::string &name)
+{
+    for (const auto &e : events.items())
+        if (e.at("ph").asString() == "X" &&
+            e.at("name").asString() == name)
+            return &e;
+    return nullptr;
+}
+
+TEST(TraceRecorder, EmitsValidChromeTraceJson)
+{
+    TraceRecorder tr;
+    tr.beginRun("run A");
+    tr.complete(TraceRecorder::kEngineTrack, "wait", "LOCK",
+                milliseconds(1), milliseconds(3));
+    tr.complete(TraceRecorder::kIoTrack, "io", "ssd.read",
+                milliseconds(2), milliseconds(4), "bytes", 4096.0);
+    tr.instant(TraceRecorder::kEngineTrack, "mark", "checkpoint",
+               milliseconds(5));
+
+    std::string err;
+    const Json doc = Json::parse(tr.toJson().dump(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    ASSERT_TRUE(doc.contains("traceEvents"));
+    const Json &events = doc.at("traceEvents");
+    ASSERT_TRUE(events.isArray());
+
+    // Every event has the Chrome-required fields.
+    for (const auto &e : events.items()) {
+        EXPECT_TRUE(e.contains("ph"));
+        EXPECT_TRUE(e.contains("pid"));
+        EXPECT_TRUE(e.contains("tid"));
+        EXPECT_TRUE(e.contains("name"));
+        const std::string ph = e.at("ph").asString();
+        EXPECT_TRUE(ph == "X" || ph == "i" || ph == "M") << ph;
+        if (ph == "X") {
+            EXPECT_TRUE(e.contains("ts"));
+            EXPECT_TRUE(e.contains("dur"));
+            EXPECT_GT(e.at("dur").asDouble(), 0.0);
+        }
+    }
+
+    // ts/dur are microseconds of simulated time.
+    const Json *lock = findSpan(events, "LOCK");
+    ASSERT_NE(lock, nullptr);
+    EXPECT_DOUBLE_EQ(lock->at("ts").asDouble(), 1000.0);
+    EXPECT_DOUBLE_EQ(lock->at("dur").asDouble(), 2000.0);
+    const Json *io = findSpan(events, "ssd.read");
+    ASSERT_NE(io, nullptr);
+    ASSERT_TRUE(io->contains("args"));
+    EXPECT_DOUBLE_EQ(io->at("args").at("bytes").asDouble(), 4096.0);
+}
+
+TEST(TraceRecorder, ZeroLengthSpansAreDropped)
+{
+    TraceRecorder tr;
+    tr.complete(0, "wait", "empty", milliseconds(1), milliseconds(1));
+    EXPECT_EQ(tr.eventCount(), 0u);
+}
+
+TEST(TraceRecorder, RunsLayOutBackToBack)
+{
+    TraceRecorder tr;
+    tr.beginRun("first");
+    tr.complete(0, "op", "a", 0, milliseconds(10));
+    tr.beginRun("second"); // second run restarts simulated time at 0
+    tr.complete(0, "op", "b", 0, milliseconds(10));
+
+    std::string err;
+    const Json doc = Json::parse(tr.toJson().dump(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    const Json &events = doc.at("traceEvents");
+    const Json *a = findSpan(events, "a");
+    const Json *b = findSpan(events, "b");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    // The second run's span must start at or after the first one's end.
+    EXPECT_GE(b->at("ts").asDouble(),
+              a->at("ts").asDouble() + a->at("dur").asDouble());
+}
+
+TEST(TraceRecorder, NestedSpansStayWithinParent)
+{
+    // Emit operator spans inside a query span the way replayQuery
+    // does: ops first, then the enclosing query span on completion.
+    TraceRecorder tr;
+    tr.beginRun("run");
+    const int track = tr.newQueryTrack();
+    EXPECT_GE(track, TraceRecorder::kFirstQueryTrack);
+    tr.complete(track, "operator", "scan", milliseconds(0),
+                milliseconds(4));
+    tr.complete(track, "operator", "join", milliseconds(4),
+                milliseconds(9));
+    tr.complete(track, "query", "q1", milliseconds(0),
+                milliseconds(10));
+
+    std::string err;
+    const Json doc = Json::parse(tr.toJson().dump(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    const Json &events = doc.at("traceEvents");
+    const Json *q = findSpan(events, "q1");
+    ASSERT_NE(q, nullptr);
+    const double q_start = q->at("ts").asDouble();
+    const double q_end = q_start + q->at("dur").asDouble();
+    for (const char *op : {"scan", "join"}) {
+        const Json *e = findSpan(events, op);
+        ASSERT_NE(e, nullptr) << op;
+        EXPECT_EQ(e->at("tid").asInt(), q->at("tid").asInt());
+        const double start = e->at("ts").asDouble();
+        const double end = start + e->at("dur").asDouble();
+        EXPECT_GE(start, q_start) << op;
+        EXPECT_LE(end, q_end) << op;
+    }
+}
+
+TEST(TraceRecorder, SsdModelEmitsIoSpansWhenActive)
+{
+    TraceRecorder tr;
+    TraceRecorder::setActive(&tr);
+    {
+        EventLoop loop;
+        SsdModel ssd(loop);
+        loop.spawn([](EventLoop &, SsdModel &dev) -> Task<void> {
+            co_await dev.read(1 << 20);
+            co_await dev.write(1 << 16);
+        }(loop, ssd));
+        loop.run();
+    }
+    TraceRecorder::setActive(nullptr);
+
+    std::string err;
+    const Json doc = Json::parse(tr.toJson().dump(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    const Json &events = doc.at("traceEvents");
+    const Json *rd = findSpan(events, "ssd.read");
+    const Json *wr = findSpan(events, "ssd.write");
+    ASSERT_NE(rd, nullptr);
+    ASSERT_NE(wr, nullptr);
+    EXPECT_EQ(rd->at("tid").asInt(), TraceRecorder::kIoTrack);
+    EXPECT_DOUBLE_EQ(rd->at("args").at("bytes").asDouble(),
+                     double(1 << 20));
+    // Simulated I/O takes positive time; spans must not overlap the
+    // same device in the wrong order (write starts after read ends).
+    EXPECT_GE(wr->at("ts").asDouble(),
+              rd->at("ts").asDouble() + rd->at("dur").asDouble());
+}
+
+TEST(TraceRecorder, InactiveByDefault)
+{
+    EXPECT_EQ(TraceRecorder::active(), nullptr);
+}
+
+} // namespace
+} // namespace dbsens

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Offline helper for the machine-readable bench reports, built only on
+ * the in-tree Json class (no external deps):
+ *
+ *   report_tool merge <out.json> <in1.json> [in2.json ...]
+ *       Collect per-bench `--json` reports into one document keyed by
+ *       each report's "bench" name (run_benches.sh report mode).
+ *
+ *   report_tool check <report.json> <golden.json>
+ *       Validate a report against a committed key-presence golden: the
+ *       golden mirrors the report's shape, and every key present in
+ *       the golden must exist in the report with the same JSON type.
+ *       Values are never compared — golden leaves only pin the type —
+ *       so the check is robust to timing noise but catches dropped
+ *       fields, renames, and type regressions (CI).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/json.h"
+
+namespace {
+
+using dbsens::Json;
+
+bool
+readFile(const std::string &path, std::string *out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+bool
+loadJson(const std::string &path, Json *out)
+{
+    std::string text;
+    if (!readFile(path, &text)) {
+        std::fprintf(stderr, "report_tool: cannot read %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::string err;
+    *out = Json::parse(text, &err);
+    if (!err.empty()) {
+        std::fprintf(stderr, "report_tool: %s: parse error: %s\n",
+                     path.c_str(), err.c_str());
+        return false;
+    }
+    return true;
+}
+
+const char *
+typeName(const Json &j)
+{
+    switch (j.type()) {
+      case Json::Type::Null: return "null";
+      case Json::Type::Bool: return "bool";
+      case Json::Type::Number: return "number";
+      case Json::Type::String: return "string";
+      case Json::Type::Array: return "array";
+      case Json::Type::Object: return "object";
+    }
+    return "?";
+}
+
+/**
+ * Every key in `golden` must exist in `doc` with the same type;
+ * recurse into objects. For arrays the golden's first element (if
+ * any) is checked against every element of the report's array.
+ */
+int
+checkShape(const Json &doc, const Json &golden, const std::string &path)
+{
+    int errors = 0;
+    if (golden.type() != doc.type()) {
+        std::fprintf(stderr, "MISMATCH %s: expected %s, got %s\n",
+                     path.empty() ? "(root)" : path.c_str(),
+                     typeName(golden), typeName(doc));
+        return 1;
+    }
+    if (golden.type() == Json::Type::Object) {
+        for (const auto &m : golden.members()) {
+            const std::string sub =
+                path.empty() ? m.first : path + "." + m.first;
+            if (!doc.contains(m.first)) {
+                std::fprintf(stderr, "MISSING %s\n", sub.c_str());
+                ++errors;
+                continue;
+            }
+            errors += checkShape(doc.at(m.first), m.second, sub);
+        }
+    } else if (golden.type() == Json::Type::Array &&
+               golden.items().size() > 0) {
+        if (doc.items().empty()) {
+            std::fprintf(stderr, "EMPTY ARRAY %s (golden expects "
+                         "elements)\n",
+                         path.c_str());
+            return errors + 1;
+        }
+        for (size_t i = 0; i < doc.items().size(); ++i)
+            errors += checkShape(doc.at(i), golden.at(0),
+                                 path + "[" + std::to_string(i) + "]");
+    }
+    return errors;
+}
+
+int
+cmdMerge(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: report_tool merge <out.json> <in...>\n");
+        return 2;
+    }
+    Json merged = Json::object();
+    for (int i = 1; i < argc; ++i) {
+        Json doc;
+        if (!loadJson(argv[i], &doc))
+            return 1;
+        std::string key = doc.contains("bench")
+                              ? doc.at("bench").asString()
+                              : std::string(argv[i]);
+        merged[key] = std::move(doc);
+    }
+    if (!merged.writeFile(argv[0], 2)) {
+        std::fprintf(stderr, "report_tool: cannot write %s\n", argv[0]);
+        return 1;
+    }
+    std::printf("merged %d report(s) into %s\n", argc - 1, argv[0]);
+    return 0;
+}
+
+int
+cmdCheck(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: report_tool check <report.json> "
+                     "<golden.json>\n");
+        return 2;
+    }
+    Json doc, golden;
+    if (!loadJson(argv[0], &doc) || !loadJson(argv[1], &golden))
+        return 1;
+    const int errors = checkShape(doc, golden, "");
+    if (errors) {
+        std::fprintf(stderr, "report_tool: %s: %d schema error(s) vs "
+                     "%s\n",
+                     argv[0], errors, argv[1]);
+        return 1;
+    }
+    std::printf("%s matches golden %s\n", argv[0], argv[1]);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: report_tool <merge|check> ...\n");
+        return 2;
+    }
+    if (std::strcmp(argv[1], "merge") == 0)
+        return cmdMerge(argc - 2, argv + 2);
+    if (std::strcmp(argv[1], "check") == 0)
+        return cmdCheck(argc - 2, argv + 2);
+    std::fprintf(stderr, "report_tool: unknown command '%s'\n",
+                 argv[1]);
+    return 2;
+}
