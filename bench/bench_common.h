@@ -109,6 +109,34 @@ toJson(const RunConfig &cfg)
     j["warmup_ms"] = Json(double(cfg.warmup) / 1e6);
     j["sample_interval_ms"] = Json(double(cfg.sampleInterval) / 1e6);
     j["seed"] = Json(cfg.seed);
+    j["lock_timeout_ms"] = Json(double(cfg.lockTimeout) / 1e6);
+    j["txn_retry_limit"] = Json(cfg.txnRetryLimit);
+    j["fault_enabled"] = Json(cfg.fault.enabled);
+    return j;
+}
+
+/** Fault/recovery counters as report JSON (the `fault.*` family). */
+inline Json
+toJson(const FaultCounters &c)
+{
+    Json j = Json::object();
+    j["injected"] = Json(c.injected);
+    j["ssd_errors"] = Json(c.ssdErrors);
+    j["ssd_stalls"] = Json(c.ssdStalls);
+    j["ssd_retries"] = Json(c.ssdRetries);
+    j["ssd_recovered"] = Json(c.ssdRecovered);
+    j["ssd_exhausted"] = Json(c.ssdExhausted);
+    j["torn_pages"] = Json(c.tornPages);
+    j["page_rereads"] = Json(c.pageRereads);
+    j["page_recovered"] = Json(c.pageRecovered);
+    j["brownouts"] = Json(c.brownouts);
+    j["cores_offlined"] = Json(c.coresOfflined);
+    j["llc_revoked_mb"] = Json(c.llcRevokedMb);
+    j["grant_sheds"] = Json(c.grantSheds);
+    j["crashes"] = Json(c.crashes);
+    j["checkpoints"] = Json(c.checkpoints);
+    j["redo_records"] = Json(c.redoRecords);
+    j["undo_records"] = Json(c.undoRecords);
     return j;
 }
 
@@ -153,11 +181,16 @@ toJson(const OltpRunResult &r)
     j["tps"] = Json(r.tps);
     j["qps"] = Json(r.qps);
     j["aborts_per_s"] = Json(r.aborts);
+    j["retries_per_s"] = Json(r.retries);
+    j["giveups_per_s"] = Json(r.giveups);
     j["mpki"] = Json(r.mpki);
     j["avg_ssd_read_bps"] = Json(r.avgSsdReadBps);
     j["avg_ssd_write_bps"] = Json(r.avgSsdWriteBps);
     j["avg_dram_bps"] = Json(r.avgDramBps);
     j["lock_timeouts"] = Json(r.lockTimeouts);
+    j["crashes"] = Json(r.crashes);
+    j["recovery_ms"] = Json(r.recoveryMs);
+    j["fault"] = toJson(r.fault);
     j["waits"] = toJson(r.waits);
     Json series = Json::object();
     series["ssd_read_Bps"] = toJson(r.ssdRead);
@@ -173,6 +206,7 @@ toJson(const TpchRunResult &r)
 {
     Json j = Json::object();
     j["qps"] = Json(r.qps);
+    j["queries_shed"] = Json(r.queriesShed);
     j["mpki"] = Json(r.mpki);
     j["avg_ssd_read_bps"] = Json(r.avgSsdReadBps);
     j["avg_ssd_write_bps"] = Json(r.avgSsdWriteBps);

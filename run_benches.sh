@@ -13,7 +13,7 @@ PAPER_BENCHES="bench_table2_sizes bench_table3_waits \
     bench_fig3_bandwidth bench_fig4_cdf \
     bench_fig5_readbw bench_fig6_maxdop \
     bench_fig7_plans bench_fig8_memgrant \
-    bench_pitfalls bench_ablation"
+    bench_fig9_faults bench_pitfalls bench_ablation"
 
 if [ "${1:-}" = "wallclock" ]; then
     build/bench/bench_wallclock > BENCH_wallclock.json \

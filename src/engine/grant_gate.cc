@@ -1,5 +1,8 @@
 #include "engine/grant_gate.h"
 
+#include <algorithm>
+
+#include "core/fault.h"
 #include "core/trace.h"
 
 namespace dbsens {
@@ -25,23 +28,42 @@ struct Park
 
 } // namespace
 
-Task<void>
+Task<bool>
 GrantGate::acquire(uint64_t bytes)
 {
     const uint64_t need = clamp(bytes);
     if (waiters_.empty() && need <= free_) {
         free_ -= need;
         peakReserved_ = std::max(peakReserved_, capacity_ - free_);
-        co_return;
+        co_return true;
     }
-    Waiter w{need, {}};
+    Waiter w{need, ++nextWaiterId_, {}, false};
     const SimTime start = loop_.now();
+    if (queueTimeout_ > 0) {
+        // Load shedding: a waiter stuck past the timeout is pulled
+        // from the queue and resumed empty-handed.
+        loop_.after(queueTimeout_, [this, id = w.id] {
+            auto it = std::find_if(
+                waiters_.begin(), waiters_.end(),
+                [id](const Waiter *e) { return e->id == id; });
+            if (it == waiters_.end())
+                return;
+            Waiter *victim = *it;
+            waiters_.erase(it);
+            victim->shed = true;
+            ++shedCount_;
+            if (faults_)
+                faults_->noteGrantShed();
+            loop_.post(victim->handle);
+        });
+    }
     co_await Park{&w, &waiters_};
-    // pump() already deducted our bytes before resuming us.
+    // Unless shed, pump() already deducted our bytes before resuming.
     if (auto *tr = TraceRecorder::active())
         tr->complete(TraceRecorder::kEngineTrack, "grant",
-                     "grant.queue", start, loop_.now(), "bytes",
-                     double(need));
+                     w.shed ? "grant.shed" : "grant.queue", start,
+                     loop_.now(), "bytes", double(need));
+    co_return !w.shed;
 }
 
 void

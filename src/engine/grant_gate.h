@@ -25,6 +25,8 @@
 
 namespace dbsens {
 
+class FaultInjector;
+
 /** FIFO byte-counting semaphore for query memory grants. */
 class GrantGate
 {
@@ -35,12 +37,28 @@ class GrantGate
     }
 
     /**
+     * Graceful degradation: waiters queued longer than this are shed
+     * (acquire returns false) instead of waiting indefinitely. 0
+     * disables shedding — no timer is ever scheduled, keeping the
+     * default path event-identical.
+     */
+    void setQueueTimeout(SimDuration t) { queueTimeout_ = t; }
+
+    /** Optional fault-counter sink for shed accounting. */
+    void setFaultInjector(FaultInjector *f) { faults_ = f; }
+
+    /** Queries shed by the queue timeout. */
+    uint64_t shedCount() const { return shedCount_; }
+
+    /**
      * Reserve `bytes` of query memory, waiting FIFO behind earlier
      * requests (no barging: a large waiter is not starved by small
      * later ones). Requests above capacity are clamped to capacity,
-     * as SQL Server caps grants at the pool size.
+     * as SQL Server caps grants at the pool size. Returns false when
+     * the waiter was shed by the queue timeout (no bytes reserved —
+     * the caller must not release).
      */
-    Task<void> acquire(uint64_t bytes);
+    Task<bool> acquire(uint64_t bytes);
 
     /** Return a reservation made by acquire (same byte count). */
     void release(uint64_t bytes);
@@ -68,13 +86,20 @@ class GrantGate
         reg.gauge(prefix + ".waiters",
                   [this] { return double(waiters_.size()); },
                   "queries queued for a grant");
+        reg.gauge(prefix + ".sheds",
+                  [this] { return double(shedCount_); },
+                  "queries shed by the queue timeout");
     }
 
     /** Wait-queue entry (public for the internal park awaitable). */
     struct Waiter
     {
         uint64_t bytes;
+        /** Unique id: timeout events must not identify waiters by
+         * pointer, since a stack entry's address can be reused. */
+        uint64_t id;
         std::coroutine_handle<> handle;
+        bool shed = false;
     };
 
   private:
@@ -89,6 +114,10 @@ class GrantGate
     uint64_t capacity_;
     uint64_t free_;
     uint64_t peakReserved_ = 0;
+    SimDuration queueTimeout_ = 0;
+    FaultInjector *faults_ = nullptr;
+    uint64_t shedCount_ = 0;
+    uint64_t nextWaiterId_ = 0;
     std::deque<Waiter *> waiters_;
 };
 

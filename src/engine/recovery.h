@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Redo/undo recovery over the logical WAL journal (ARIES-shaped,
+ * adapted to the simulator). The simulator mutates table data in
+ * place at transaction time, so after an injected crash the "disk"
+ * image already contains every applied write — including those of
+ * transactions that were still in flight. Recovery therefore:
+ *
+ *  - analyses the journal to split transactions into winners (commit
+ *    record durable at the crash LSN) and losers (everything else
+ *    that touched data and was not already aborted at run time);
+ *  - charges redo cost for winner records above the last fuzzy
+ *    checkpoint (their page images may predate the background
+ *    writer's flush horizon);
+ *  - functionally undoes loser records in reverse LSN order using
+ *    their before-images, restoring the committed-only state.
+ *
+ * The simulated recovery time (log read + record apply CPU) is what
+ * the harness charges to WaitClass::Recovery.
+ */
+
+#ifndef DBSENS_ENGINE_RECOVERY_H
+#define DBSENS_ENGINE_RECOVERY_H
+
+#include <cstdint>
+
+#include "engine/database.h"
+#include "core/sim_time.h"
+#include "txn/wal.h"
+
+namespace dbsens {
+
+/** Outcome of one WAL replay. */
+struct RecoveryStats
+{
+    uint64_t recordsScanned = 0;
+    uint64_t redoApplied = 0;
+    uint64_t undoApplied = 0;
+    uint64_t winnersCommitted = 0;
+    uint64_t losersRolledBack = 0;
+    uint64_t logBytesRead = 0;
+    /** Simulated time the recovery pass takes. */
+    SimDuration simNs = 0;
+};
+
+/**
+ * Undo one data record against the live database: restore the
+ * before-image of an update, delete an inserted row, re-insert a
+ * deleted row. Shared by crash recovery and transaction rollback.
+ */
+void applyUndo(Database &db, const WalRecord &rec);
+
+/**
+ * Replay the journal against `db` after a crash whose durable log
+ * horizon was `durable_lsn`. Clears the journal on success (log
+ * truncation at the end of restart recovery).
+ */
+RecoveryStats replayWal(Database &db, WalJournal &journal,
+                        uint64_t durable_lsn);
+
+} // namespace dbsens
+
+#endif // DBSENS_ENGINE_RECOVERY_H

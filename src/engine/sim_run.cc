@@ -1,5 +1,7 @@
 #include "engine/sim_run.h"
 
+#include <algorithm>
+
 #include "core/trace.h"
 
 namespace dbsens {
@@ -11,12 +13,17 @@ namespace {
 Task<void>
 checkpointer(SimRun &run)
 {
+    uint64_t tick = 0;
     while (run.running()) {
         co_await SimDelay(run.loop, SimRun::kCheckpointInterval);
         const uint64_t bytes =
             run.pool.flushDirty(SimRun::kCheckpointBatchBytes);
         if (bytes > 0)
             co_await run.ssd.write(bytes);
+        // Crash–recovery runs take a fuzzy checkpoint every 10 lazy-
+        // writer ticks, bounding redo work after an injected crash.
+        if (run.wal.capturing() && ++tick % 10 == 0)
+            run.wal.fuzzyCheckpoint(run.activeTxnList());
     }
 }
 
@@ -30,6 +37,7 @@ SimRun::SimRun(Database &db, const RunConfig &cfg)
 {
     cpu.setAllowedCores(cfg.cores);
     llc.setTotalAllocationMb(cfg.llcMb);
+    locks.setTimeout(cfg.lockTimeout);
     if (cfg.ssdReadLimitBps > 0)
         ssd.setReadLimit(cfg.ssdReadLimitBps);
     if (cfg.ssdWriteLimitBps > 0)
@@ -37,6 +45,36 @@ SimRun::SimRun(Database &db, const RunConfig &cfg)
     db.bindPool(pool);
     if (cfg.prewarmBufferPool)
         pool.prewarm();
+
+    if (cfg.fault.enabled) {
+        faults = std::make_unique<FaultInjector>(cfg.fault);
+        timeline_ = std::make_unique<LoopTimeline>(loop);
+        llcMbNow_ = cfg.llcMb;
+        ssd.setFaultInjector(faults.get());
+        pool.setFaultInjector(faults.get());
+        wal.setFaultInjector(faults.get());
+        grants.setFaultInjector(faults.get());
+        grants.setQueueTimeout(cfg.fault.grantTimeout);
+        FaultInjector::Hooks hooks;
+        hooks.setSsdBrownout = [this](double f) {
+            ssd.setBrownoutFactor(f);
+        };
+        hooks.offlineCores = [this](int n) { cpu.offlineCores(n); };
+        hooks.revokeLlcMb = [this](int mb) {
+            llcMbNow_ = std::max(2, llcMbNow_ - mb);
+            llc.setTotalAllocationMb(llcMbNow_);
+        };
+        hooks.crash = [this] {
+            // Volatile state is lost at this instant; the harness
+            // replays the journal and resumes in a fresh SimRun.
+            crashed_ = true;
+            crashTime_ = loop.now();
+            crashDurableLsn_ = wal.flushedLsn();
+            loop.stop();
+        };
+        faults->start(*timeline_, hooks);
+        faults->registerStats(stats, "fault");
+    }
 
     // Every component reports into the run's unified registry.
     pool.registerStats(stats, "bufferpool");
@@ -56,6 +94,15 @@ SimRun::SimRun(Database &db, const RunConfig &cfg)
     stats.gauge("run.txns_aborted",
                 [this] { return double(txnsAborted); },
                 "aborted transactions");
+    stats.gauge("run.txns_retried",
+                [this] { return double(txnsRetried); },
+                "lock-timeout victims retried");
+    stats.gauge("run.txns_given_up",
+                [this] { return double(txnsGivenUp); },
+                "victims dropped after the retry budget");
+    stats.gauge("run.queries_shed",
+                [this] { return double(queriesShed); },
+                "queries shed at the grant gate");
     stats.gauge("run.queries_completed",
                 [this] { return double(queriesCompleted); },
                 "completed analytical queries");
@@ -109,6 +156,11 @@ SimRun::runToCompletion()
     const SimTime end = cfg_.warmup + cfg_.duration;
     loop.runUntil(end);
     sampler.stop();
+    if (crashed_) {
+        // The crash stopped the loop mid-window: volatile state is
+        // gone, so there is nothing to drain — recovery takes over.
+        return;
+    }
     // Drain in-flight work briefly so counters settle (sessions stop
     // issuing new transactions once running() is false).
     loop.runUntil(end + milliseconds(50));

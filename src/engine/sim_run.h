@@ -12,8 +12,10 @@
 #define DBSENS_ENGINE_SIM_RUN_H
 
 #include <memory>
+#include <unordered_set>
 
 #include "core/calibration.h"
+#include "core/fault.h"
 #include "core/stats.h"
 #include "engine/database.h"
 #include "engine/grant_gate.h"
@@ -54,6 +56,22 @@ struct RunConfig
     SimDuration warmup = 0;
     uint64_t seed = 1;
     bool prewarmBufferPool = true;
+    /**
+     * Lock wait budget before a transaction is picked as a timeout
+     * victim (the paper's deadlock-resolution surrogate).
+     */
+    SimDuration lockTimeout = milliseconds(50);
+    /**
+     * Victim retry policy: a transaction aborted by a lock timeout is
+     * retried up to this many times with capped exponential backoff
+     * before the session gives up on it. 0 keeps the seed behaviour
+     * (single fixed backoff, no retry accounting).
+     */
+    int txnRetryLimit = 0;
+    SimDuration txnRetryBackoffBase = microseconds(200);
+    SimDuration txnRetryBackoffCap = milliseconds(8);
+    /** Fault-injection regime (disabled ⇒ byte-identical runs). */
+    FaultConfig fault;
 };
 
 /** One experiment's simulated server and measurement state. */
@@ -83,6 +101,8 @@ class SimRun
     WalWriter wal;
     MetricSampler sampler;
     WaitStats waits;
+    /** Fault injector; null unless cfg.fault.enabled. */
+    std::unique_ptr<FaultInjector> faults;
     /**
      * Unified per-run stats registry: every component above registers
      * gauges here under a dotted prefix (`bufferpool.misses`,
@@ -97,6 +117,12 @@ class SimRun
     uint64_t txnsAborted = 0;
     uint64_t queriesCompleted = 0;
     double instructionsRetired = 0;
+    /** Lock-timeout victims retried by their session. */
+    uint64_t txnsRetried = 0;
+    /** Victims abandoned after the retry budget ran out. */
+    uint64_t txnsGivenUp = 0;
+    /** Analytical queries shed at the grant gate. */
+    uint64_t queriesShed = 0;
 
     /** Allocate a fresh transaction id. */
     TxnId allocTxnId() { return ++txnSeq_; }
@@ -133,13 +159,62 @@ class SimRun
     bool
     running() const
     {
-        return loop.now() < cfg_.warmup + cfg_.duration;
+        return !crashed_ && loop.now() < cfg_.warmup + cfg_.duration;
+    }
+
+    // ----- crash state (set by the injector's crash hook)
+
+    bool crashed() const { return crashed_; }
+    SimTime crashTime() const { return crashTime_; }
+    /** Durable WAL horizon captured at the crash point. */
+    uint64_t crashDurableLsn() const { return crashDurableLsn_; }
+
+    // ----- active-transaction tracking (fuzzy checkpoints; only
+    // ----- maintained while the WAL is capturing a journal)
+
+    void
+    noteTxnBegin(TxnId id)
+    {
+        if (wal.capturing())
+            activeTxns_.insert(id);
+    }
+
+    void
+    noteTxnEnd(TxnId id)
+    {
+        if (wal.capturing())
+            activeTxns_.erase(id);
+    }
+
+    std::vector<TxnId>
+    activeTxnList() const
+    {
+        return {activeTxns_.begin(), activeTxns_.end()};
     }
 
   private:
+    /** EventLoop-backed clock for the injector (core can't see sim). */
+    struct LoopTimeline : FaultInjector::Timeline
+    {
+        explicit LoopTimeline(EventLoop &l) : loop(l) {}
+        SimTime now() const override { return loop.now(); }
+        void
+        at(SimTime t, std::function<void()> fn) override
+        {
+            loop.at(t, std::move(fn));
+        }
+        EventLoop &loop;
+    };
+
     Database &db_;
     RunConfig cfg_;
     TxnId txnSeq_ = 0;
+    std::unique_ptr<LoopTimeline> timeline_;
+    std::unordered_set<TxnId> activeTxns_;
+    bool crashed_ = false;
+    SimTime crashTime_ = 0;
+    uint64_t crashDurableLsn_ = 0;
+    int llcMbNow_ = 0;
 };
 
 } // namespace dbsens

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/logging.h"
+#include "engine/recovery.h"
 
 namespace dbsens {
 
@@ -17,6 +18,7 @@ TxnCtx::TxnCtx(SimRun &run, TxnId id) : run_(run), id_(id)
 {
     missMark_ = run_.feed.misses();
     charge(oltpcost::kTxnOverheadInstr * 0.5); // begin path
+    run_.noteTxnBegin(id_);
 }
 
 void
@@ -156,6 +158,18 @@ TxnCtx::updateRow(Database::Table &t, RowId r, const std::string &column,
 {
     charge(oltpcost::kRowUpdateInstr);
     touchRow(t, r);
+    if (run_.wal.capturing()) {
+        WalRecord rec;
+        rec.kind = WalRecord::Kind::Update;
+        rec.txn = id_;
+        rec.table = t.name;
+        rec.row = r;
+        rec.column = column;
+        rec.before = t.data->column(column).get(r);
+        rec.after = v;
+        captured_.push_back(rec);
+        run_.wal.log(std::move(rec));
+    }
     if (t.rowStore) {
         const PageId p = t.rowStore->pageOfRow(r);
         co_await flushCpu();
@@ -194,6 +208,16 @@ TxnCtx::insertRow(Database::Table &t, const std::vector<Value> &row)
     co_await latch.acquire(run_.loop, &run_.waits,
                            WaitClass::PageLatch);
     const RowId r = t.insertRow(row, &dirtied);
+    if (run_.wal.capturing()) {
+        WalRecord rec;
+        rec.kind = WalRecord::Kind::Insert;
+        rec.txn = id_;
+        rec.table = t.name;
+        rec.row = r;
+        rec.rowImage = row;
+        captured_.push_back(rec);
+        run_.wal.log(std::move(rec));
+    }
     // Slot allocation + row copy occupy the latch (see updateRow).
     co_await run_.cpu.consume(CpuWork{kLatchHoldNs, 0, 0});
     latch.release(run_.loop);
@@ -220,6 +244,16 @@ TxnCtx::deleteRow(Database::Table &t, RowId r)
         co_await flushCpu();
         co_await run_.pool.fix(p, &run_.waits);
     }
+    if (run_.wal.capturing()) {
+        WalRecord rec;
+        rec.kind = WalRecord::Kind::Delete;
+        rec.txn = id_;
+        rec.table = t.name;
+        rec.row = r;
+        rec.rowImage = t.data->getRow(r);
+        captured_.push_back(rec);
+        run_.wal.log(std::move(rec));
+    }
     t.deleteRow(r, &dirtied);
     for (PageId p : dirtied) {
         co_await run_.pool.fix(p, &run_.waits);
@@ -236,9 +270,19 @@ TxnCtx::commit()
     finished_ = true;
     charge(oltpcost::kTxnOverheadInstr * 0.5);
     co_await flushCpu();
+    if (run_.wal.capturing() && !captured_.empty()) {
+        // Commit record: its durability at the crash LSN decides
+        // winner vs loser during recovery.
+        logLsn_ = run_.wal.append(0);
+        WalRecord rec;
+        rec.kind = WalRecord::Kind::Commit;
+        rec.txn = id_;
+        run_.wal.log(std::move(rec));
+    }
     if (logLsn_ > 0)
         co_await run_.wal.commit(logLsn_, &run_.waits);
     run_.locks.releaseAll(id_);
+    run_.noteTxnEnd(id_);
     ++run_.txnsCommitted;
     co_return true;
 }
@@ -250,7 +294,20 @@ TxnCtx::rollback()
         co_return;
     finished_ = true;
     co_await flushCpu();
+    if (run_.wal.capturing() && !captured_.empty()) {
+        // Fault mode makes aborts functionally real: apply the
+        // before-images in reverse, then log the abort so recovery
+        // knows the undo already happened.
+        for (auto it = captured_.rbegin(); it != captured_.rend(); ++it)
+            applyUndo(run_.db(), *it);
+        run_.wal.append(0);
+        WalRecord rec;
+        rec.kind = WalRecord::Kind::Abort;
+        rec.txn = id_;
+        run_.wal.log(std::move(rec));
+    }
     run_.locks.releaseAll(id_);
+    run_.noteTxnEnd(id_);
     ++run_.txnsAborted;
 }
 

@@ -107,6 +107,13 @@ class TxnCtx
     uint64_t missMark_ = 0;
     uint64_t logLsn_ = 0;
     bool finished_ = false;
+    /**
+     * Local copies of this transaction's logical WAL records, kept
+     * only while the WAL is capturing (crash–recovery runs). Rollback
+     * applies their before-images in reverse, making aborts
+     * functionally real in fault mode.
+     */
+    std::vector<WalRecord> captured_;
 };
 
 } // namespace dbsens

@@ -1,5 +1,7 @@
 #include "harness/oltp_runner.h"
 
+#include "engine/recovery.h"
+
 namespace dbsens {
 
 OltpRunResult
@@ -9,6 +11,17 @@ runOltp(OltpWorkload &workload, RunConfig cfg)
     return runOltpOn(workload, *db, cfg);
 }
 
+namespace {
+
+void
+appendSeries(Distribution &dst, const Distribution &src)
+{
+    for (double v : src.samples())
+        dst.add(v);
+}
+
+} // namespace
+
 OltpRunResult
 runOltpOn(OltpWorkload &workload, Database &db, RunConfig cfg)
 {
@@ -17,43 +30,107 @@ runOltpOn(OltpWorkload &workload, Database &db, RunConfig cfg)
     if (cfg.warmup == 0)
         cfg.warmup = kDefaultOltpWarmup;
 
-    SimRun run(db, cfg);
-    workload.startSessions(run, db, cfg.seed * 7919 + 17);
-    // Reach steady state (caches filled, queues formed), then reset
-    // counters and start sampling the measured window.
-    run.completeWarmup();
-    const uint64_t miss_base = run.feed.misses();
-    // Normalize each interval delta to a per-second rate.
-    const double rate_scale = 1.0 / toSeconds(cfg.sampleInterval);
-    run.startSampling(rate_scale);
-    run.runToCompletion();
+    // Crash–recovery runs capture logical WAL records into a journal
+    // owned here — outside any SimRun — so it survives the crash.
+    WalJournal journal;
+    const bool crash_run = cfg.fault.enabled && cfg.fault.crashAt > 0;
 
     OltpRunResult res;
+    uint64_t committed = 0, queries = 0;
+    double sampled_misses = 0, instr = 0;
+    RunConfig phase_cfg = cfg;
+
+    // Phase loop: normally one pass. With an injected crash, the
+    // first pass ends at the crash point, recovery replays the
+    // journal, and a second SimRun (fresh volatile state, cold
+    // buffer pool) finishes the remaining measured window.
+    for (int phase = 0;; ++phase) {
+        bool crashed = false;
+        SimTime crash_time = 0;
+        uint64_t durable_lsn = 0;
+        {
+            SimRun run(db, phase_cfg);
+            if (crash_run)
+                run.wal.attachJournal(&journal);
+            workload.startSessions(run, db,
+                                   phase_cfg.seed * 7919 + 17 +
+                                       uint64_t(phase));
+            // Reach steady state (caches filled, queues formed), then
+            // reset counters and start sampling the measured window.
+            run.completeWarmup();
+            const uint64_t miss_base = run.feed.misses();
+            // Normalize each interval delta to a per-second rate.
+            const double rate_scale =
+                1.0 / toSeconds(phase_cfg.sampleInterval);
+            run.startSampling(rate_scale);
+            run.runToCompletion();
+
+            committed += run.txnsCommitted;
+            queries += run.queriesCompleted;
+            res.aborts += double(run.txnsAborted);
+            res.txnsRetried += run.txnsRetried;
+            res.txnsGivenUp += run.txnsGivenUp;
+            res.lockTimeouts += run.locks.timeouts();
+            res.waits.merge(run.waits);
+            sampled_misses += double(run.feed.misses() - miss_base);
+            instr += run.instructionsRetired;
+            if (run.sampler.hasSeries("ssd_read_Bps"))
+                appendSeries(res.ssdRead,
+                             run.sampler.series("ssd_read_Bps"));
+            if (run.sampler.hasSeries("ssd_write_Bps"))
+                appendSeries(res.ssdWrite,
+                             run.sampler.series("ssd_write_Bps"));
+            if (run.sampler.hasSeries("dram_Bps"))
+                appendSeries(res.dram,
+                             run.sampler.series("dram_Bps"));
+            if (run.faults)
+                res.fault.merge(run.faults->counters());
+
+            crashed = run.crashed();
+            crash_time = run.crashTime();
+            durable_lsn = run.crashDurableLsn();
+            run.wal.attachJournal(nullptr);
+        }
+        if (!crashed)
+            break;
+
+        // Restart recovery: replay the journal against the database,
+        // charging the restart time to WaitClass::Recovery.
+        ++res.crashes;
+        const RecoveryStats rec = replayWal(db, journal, durable_lsn);
+        res.recoveryMs += toSeconds(rec.simNs) * 1e3;
+        res.waits.add(WaitClass::Recovery, rec.simNs);
+        res.fault.redoRecords += rec.redoApplied;
+        res.fault.undoRecords += rec.undoApplied;
+
+        // Resume for whatever is left of the measured window after
+        // the crash point and the recovery pause.
+        const SimDuration remaining = phase_cfg.warmup +
+                                      phase_cfg.duration - crash_time -
+                                      rec.simNs;
+        if (remaining <= 0)
+            break;
+        phase_cfg.warmup = 0;
+        phase_cfg.duration = remaining;
+        phase_cfg.fault.crashAt = 0; // one crash per run
+        phase_cfg.prewarmBufferPool = false; // restart = cold cache
+        phase_cfg.seed = phase_cfg.seed * 1664525 + 1013904223;
+    }
+
+    // Rates are over the configured window: crash + recovery time is
+    // lost throughput, which is exactly the degradation to measure.
     const double secs = toSeconds(cfg.duration);
-    res.tps = double(run.txnsCommitted) / secs;
-    res.qps = double(run.queriesCompleted) / secs;
-    res.aborts = double(run.txnsAborted) / secs;
-    res.waits = run.waits;
-    res.lockTimeouts = run.locks.timeouts();
-    const double sampled_misses =
-        double(run.feed.misses() - miss_base);
-    const double instr = run.instructionsRetired;
-    res.mpki = instr > 0 ? sampled_misses *
-                               calib::kOltpAccessWeight /
+    res.tps = double(committed) / secs;
+    res.qps = double(queries) / secs;
+    res.aborts /= secs;
+    res.retries = double(res.txnsRetried) / secs;
+    res.giveups = double(res.txnsGivenUp) / secs;
+    res.mpki = instr > 0 ? sampled_misses * calib::kOltpAccessWeight /
                                (instr / 1000.0)
                          : 0.0;
-    if (run.sampler.hasSeries("ssd_read_Bps")) {
-        res.ssdRead = run.sampler.series("ssd_read_Bps");
-        res.avgSsdReadBps = res.ssdRead.mean();
-    }
-    if (run.sampler.hasSeries("ssd_write_Bps")) {
-        res.ssdWrite = run.sampler.series("ssd_write_Bps");
-        res.avgSsdWriteBps = res.ssdWrite.mean();
-    }
-    if (run.sampler.hasSeries("dram_Bps")) {
-        res.dram = run.sampler.series("dram_Bps");
-        res.avgDramBps = res.dram.mean();
-    }
+    res.avgSsdReadBps = res.ssdRead.mean();
+    res.avgSsdWriteBps = res.ssdWrite.mean();
+    res.avgDramBps = res.dram.mean();
     return res;
 }
 

@@ -25,15 +25,26 @@ struct OltpRunResult
     double tps = 0;       ///< committed transactions per second
     double qps = 0;       ///< analytical queries per second (HTAP)
     double aborts = 0;    ///< aborts per second
+    double retries = 0;   ///< lock-timeout victim retries per second
+    double giveups = 0;   ///< retry-budget exhaustions per second
     double mpki = 0;      ///< LLC misses per kilo-instruction
     double avgSsdReadBps = 0;
     double avgSsdWriteBps = 0;
     double avgDramBps = 0;
-    WaitStats waits;      ///< LOCK / LATCH / PAGELATCH / PAGEIOLATCH
+    WaitStats waits;      ///< LOCK / ... / RECOVERY breakdown
     Distribution ssdRead; ///< per-second samples (Figures 3, 4)
     Distribution ssdWrite;
     Distribution dram;
     uint64_t lockTimeouts = 0;
+    /** Raw victim-retry counters (satellites of txnsAborted). */
+    uint64_t txnsRetried = 0;
+    uint64_t txnsGivenUp = 0;
+    /** Injected crashes survived (fault regimes only). */
+    uint64_t crashes = 0;
+    /** Simulated restart-recovery time, milliseconds. */
+    double recoveryMs = 0;
+    /** Fault/recovery counters merged across crash phases. */
+    FaultCounters fault;
 };
 
 /** Default OLTP run length (simulated; steady-state window). */

@@ -119,8 +119,15 @@ TpchDriver::streamSession(SimRun &run, int maxdop, double miss_rate,
             params.grantBytes = run.queryGrantBytes();
             params.missRate = miss_rate;
             // Admission control: reserve the grant for the query's
-            // lifetime (large grants bound stream concurrency).
-            co_await run.grants.acquire(params.grantBytes);
+            // lifetime (large grants bound stream concurrency). A
+            // shed waiter (grant-queue timeout under fault regimes)
+            // skips the query instead of blocking the stream.
+            const bool granted =
+                co_await run.grants.acquire(params.grantBytes);
+            if (!granted) {
+                ++run.queriesShed;
+                continue;
+            }
             co_await replayQuery(run, pq.profile, params);
             run.grants.release(params.grantBytes);
         }
@@ -148,6 +155,7 @@ TpchDriver::runStreams(const RunConfig &cfg, int streams)
     const double paper_seconds =
         toSeconds(cfg.duration) * double(calib::kScaleK);
     res.qps = double(run.queriesCompleted) / paper_seconds;
+    res.queriesShed = run.queriesShed;
     res.mpki = touchesPerKiloInstr() * miss * calib::kAccessSampleWeight;
     if (run.sampler.hasSeries("ssd_read_Bps"))
         res.avgSsdReadBps = run.sampler.series("ssd_read_Bps").mean();

@@ -32,6 +32,8 @@ struct TpchRunResult
     double avgSsdReadBps = 0;
     double avgSsdWriteBps = 0;
     double avgDramBps = 0;
+    /** Queries shed at the grant gate (fault regimes only). */
+    uint64_t queriesShed = 0;
     /** Per-paper-second rate samples (Figures 3 and 4). */
     Distribution ssdRead;
     Distribution ssdWrite;

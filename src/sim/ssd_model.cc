@@ -1,5 +1,6 @@
 #include "sim/ssd_model.h"
 
+#include "core/fault.h"
 #include "core/stats.h"
 #include "core/trace.h"
 
@@ -27,6 +28,8 @@ SsdModel::read(uint64_t bytes)
                      loop_.now(), loop_.now() + wait, "bytes",
                      double(bytes));
     co_await SimDelay(loop_, wait);
+    if (faults_)
+        co_await injectIoFaults(true, bytes);
 }
 
 Task<void>
@@ -40,6 +43,51 @@ SsdModel::write(uint64_t bytes)
                      loop_.now(), loop_.now() + wait, "bytes",
                      double(bytes));
     co_await SimDelay(loop_, wait);
+    if (faults_)
+        co_await injectIoFaults(false, bytes);
+}
+
+Task<void>
+SsdModel::injectIoFaults(bool is_read, uint64_t bytes)
+{
+    // Transient device stall (firmware hiccup): pure extra latency.
+    if (faults_->drawSsdStall())
+        co_await SimDelay(
+            loop_, SimDuration(faults_->config().ssdStallNs));
+
+    // Transient error detected at completion: back off (capped
+    // exponential + seeded jitter) and re-issue the transfer, which
+    // re-occupies the bandwidth channel. Each re-issue can fail again.
+    int attempt = 0;
+    bool errored = false;
+    while (faults_->drawSsdError()) {
+        errored = true;
+        if (attempt >= faults_->config().maxIoRetries) {
+            // Retry budget exhausted: surface the loss and move on
+            // (graceful degradation; upper layers see the counter).
+            faults_->noteSsdExhausted();
+            co_return;
+        }
+        ++attempt;
+        faults_->noteSsdRetry();
+        co_await SimDelay(loop_, faults_->ioRetryBackoff(attempt));
+        SimTime &channel = is_read ? readFree_ : writeFree_;
+        const double bw =
+            is_read ? effectiveReadBw() : effectiveWriteBw();
+        if (is_read)
+            bytesRead_ += bytes;
+        else
+            bytesWritten_ += bytes;
+        const SimDuration rewait = reserve(channel, bw, bytes);
+        if (auto *tr = TraceRecorder::active())
+            tr->complete(TraceRecorder::kIoTrack, "io",
+                         is_read ? "ssd.read.retry" : "ssd.write.retry",
+                         loop_.now(), loop_.now() + rewait, "bytes",
+                         double(bytes));
+        co_await SimDelay(loop_, rewait);
+    }
+    if (errored)
+        faults_->noteSsdRecovered();
 }
 
 void

@@ -25,6 +25,7 @@
 
 namespace dbsens {
 
+class FaultInjector;
 class StatsRegistry;
 
 /** SSD bandwidth/latency model with cgroup-style limits. */
@@ -39,18 +40,31 @@ class SsdModel
     /** Set a write-bandwidth limit in bytes/sec (0 = device limit). */
     void setWriteLimit(double bytes_per_sec) { writeLimit_ = bytes_per_sec; }
 
+    /** Enable fault injection (null = no faults, bit-identical off). */
+    void setFaultInjector(FaultInjector *f) { faults_ = f; }
+
+    /**
+     * Brownout: scale device bandwidth by `factor` (1.0 restores full
+     * speed). Only the FaultInjector drives this.
+     */
+    void setBrownoutFactor(double factor) { brownout_ = factor; }
+
     double
     effectiveReadBw() const
     {
-        return readLimit_ > 0 && readLimit_ < calib::kSsdReadBw
-                   ? readLimit_ : calib::kSsdReadBw;
+        const double bw =
+            readLimit_ > 0 && readLimit_ < calib::kSsdReadBw
+                ? readLimit_ : calib::kSsdReadBw;
+        return brownout_ < 1.0 ? bw * brownout_ : bw;
     }
 
     double
     effectiveWriteBw() const
     {
-        return writeLimit_ > 0 && writeLimit_ < calib::kSsdWriteBw
-                   ? writeLimit_ : calib::kSsdWriteBw;
+        const double bw =
+            writeLimit_ > 0 && writeLimit_ < calib::kSsdWriteBw
+                ? writeLimit_ : calib::kSsdWriteBw;
+        return brownout_ < 1.0 ? bw * brownout_ : bw;
     }
 
     /** Issue a read of `bytes`; completes when the device finishes. */
@@ -71,7 +85,13 @@ class SsdModel
   private:
     SimDuration reserve(SimTime &channel_free, double bw, uint64_t bytes);
 
+    /** Post-transfer fault handling: transient stalls and errors with
+     * capped exponential-backoff retries (re-occupying the channel). */
+    Task<void> injectIoFaults(bool is_read, uint64_t bytes);
+
     EventLoop &loop_;
+    FaultInjector *faults_ = nullptr;
+    double brownout_ = 1.0;
     double readLimit_ = 0;
     double writeLimit_ = 0;
     SimTime readFree_ = 0;

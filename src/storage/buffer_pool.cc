@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include "core/fault.h"
 #include "core/logging.h"
 #include "core/stats.h"
 #include "core/trace.h"
@@ -40,7 +41,45 @@ BufferPool::registerObject(PageId id, uint64_t bytes)
     if (!inserted)
         panic("buffer object registered twice");
     it->second.bytes = bytes;
+    it->second.checksum = pageChecksum(id, bytes, 0);
     registrationOrder_.push_back(id);
+}
+
+uint64_t
+BufferPool::pageChecksum(PageId id, uint64_t bytes, uint64_t version)
+{
+    // SplitMix64-style mix over the page identity and version: cheap,
+    // deterministic, and sensitive to every input bit.
+    uint64_t z = (uint64_t(id) * 0x9e3779b97f4a7c15ULL) ^
+                 (bytes * 0xbf58476d1ce4e5b9ULL) ^
+                 (version + 0x94d049bb133111ebULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+BufferPool::objectChecksum(PageId id) const
+{
+    auto it = objects_.find(id);
+    return it == objects_.end() ? 0 : it->second.checksum;
+}
+
+uint64_t
+BufferPool::objectVersion(PageId id) const
+{
+    auto it = objects_.find(id);
+    return it == objects_.end() ? 0 : it->second.version;
+}
+
+bool
+BufferPool::verifyObject(PageId id) const
+{
+    auto it = objects_.find(id);
+    if (it == objects_.end())
+        return false;
+    const Object &o = it->second;
+    return o.checksum == pageChecksum(id, o.bytes, o.version);
 }
 
 void
@@ -56,6 +95,7 @@ BufferPool::resizeObject(PageId id, uint64_t bytes)
         }
     }
     o.bytes = bytes;
+    o.checksum = pageChecksum(id, bytes, o.version);
 }
 
 BufferPool::Object &
@@ -151,6 +191,23 @@ BufferPool::fix(PageId id, WaitStats *stats)
     diskReadBytes_ += o.bytes;
     const SimTime start = loop_.now();
     co_await ssd_.read(o.bytes);
+    if (faults_ && faults_->drawTornPage()) {
+        // The read returned an inconsistent image: its checksum (a
+        // stale version's) does not match the stored one. Detect the
+        // mismatch and heal by re-reading the page.
+        const uint64_t image =
+            pageChecksum(id, o.bytes, o.version + 1);
+        if (image != o.checksum) {
+            ++tornDetected_;
+            faults_->notePageReread();
+            diskReadBytes_ += o.bytes;
+            co_await ssd_.read(o.bytes);
+            if (pageChecksum(id, o.bytes, o.version) == o.checksum)
+                faults_->notePageRecovered();
+            else
+                panic("torn page not healed by re-read");
+        }
+    }
     o.loading = false;
     if (stats)
         stats->add(WaitClass::PageIoLatch, loop_.now() - start);
@@ -196,6 +253,9 @@ BufferPool::markDirty(PageId id)
         o.dirty = true;
         dirtyBytes_ += o.bytes;
     }
+    // Every logical modification produces a new consistent image.
+    ++o.version;
+    o.checksum = pageChecksum(id, o.bytes, o.version);
 }
 
 void

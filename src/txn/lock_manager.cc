@@ -112,7 +112,7 @@ LockManager::acquire(TxnId txn, TableId table, RowId row, LockMode mode,
     // waiter is identified by its unique id (never by pointer: a
     // granted-and-freed entry's address could be reused by a later
     // waiter on the same key).
-    loop_.after(kLockTimeout, [this, key, waiter_id] {
+    loop_.after(timeout_, [this, key, waiter_id] {
         auto qit = queues_.find(key);
         if (qit == queues_.end())
             return;

@@ -41,7 +41,11 @@ class LockManager
     explicit LockManager(EventLoop &loop) : loop_(loop) {}
 
     /** Default wait budget before declaring deadlock-ish timeout. */
-    static constexpr SimDuration kLockTimeout = milliseconds(50);
+    static constexpr SimDuration kDefaultLockTimeout = milliseconds(50);
+
+    /** Configure the wait budget (RunConfig::lockTimeout). */
+    void setTimeout(SimDuration t) { timeout_ = t; }
+    SimDuration timeout() const { return timeout_; }
 
     /**
      * Acquire a lock on (table, row); row == kInvalidRow addresses
@@ -120,6 +124,7 @@ class LockManager
     EventLoop &loop_;
     std::unordered_map<uint64_t, Queue> queues_;
     std::unordered_map<TxnId, std::vector<uint64_t>> held_;
+    SimDuration timeout_ = kDefaultLockTimeout;
     uint64_t timeouts_ = 0;
     uint64_t grants_ = 0;
     uint64_t nextWaiterId_ = 0;

@@ -26,6 +26,7 @@ enum class WaitClass : uint8_t {
     PageLatch,   ///< buffer page latch, page already in memory
     PageIoLatch, ///< buffer page latch while the page is read from SSD
     WriteLog,    ///< commit waiting for WAL flush
+    Recovery,    ///< crash recovery (WAL analysis/redo/undo replay)
     kCount,
 };
 
@@ -39,6 +40,7 @@ waitClassName(WaitClass c)
       case WaitClass::PageLatch: return "PAGELATCH";
       case WaitClass::PageIoLatch: return "PAGEIOLATCH";
       case WaitClass::WriteLog: return "WRITELOG";
+      case WaitClass::Recovery: return "RECOVERY";
       default: return "?";
     }
 }
@@ -75,6 +77,16 @@ class WaitStats
     {
         for (auto &e : entries_)
             e = {};
+    }
+
+    /** Accumulate another run phase's waits (crash–recovery runs). */
+    void
+    merge(const WaitStats &o)
+    {
+        for (size_t i = 0; i < entries_.size(); ++i) {
+            entries_[i].totalNs += o.entries_[i].totalNs;
+            entries_[i].count += o.entries_[i].count;
+        }
     }
 
     /**

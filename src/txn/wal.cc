@@ -1,10 +1,38 @@
 #include "txn/wal.h"
 
 #include <algorithm>
+#include <unordered_map>
 
+#include "core/fault.h"
 #include "core/trace.h"
 
 namespace dbsens {
+
+void
+WalJournal::checkpoint(uint64_t lsn, const std::vector<TxnId> &active)
+{
+    checkpointLsn_ = lsn;
+    ++checkpointCount_;
+
+    std::unordered_set<TxnId> keep(active.begin(), active.end());
+    // A transaction resolved above the horizon might still need undo
+    // (its commit record may not be durable at a future crash), so
+    // only drop transactions fully resolved at or below it.
+    std::unordered_set<TxnId> resolved_below;
+    for (const WalRecord &r : records_) {
+        if ((r.kind == WalRecord::Kind::Commit ||
+             r.kind == WalRecord::Kind::Abort) &&
+            r.lsn <= lsn && keep.find(r.txn) == keep.end())
+            resolved_below.insert(r.txn);
+    }
+    records_.erase(
+        std::remove_if(records_.begin(), records_.end(),
+                       [&](const WalRecord &r) {
+                           return r.kind != WalRecord::Kind::Checkpoint &&
+                                  resolved_below.count(r.txn) > 0;
+                       }),
+        records_.end());
+}
 
 namespace {
 
@@ -39,6 +67,31 @@ WalWriter::append(uint64_t payload_bytes)
 {
     appendedLsn_ += payload_bytes + kRecordHeader;
     return appendedLsn_;
+}
+
+void
+WalWriter::log(WalRecord r)
+{
+    if (!journal_)
+        return;
+    r.lsn = appendedLsn_;
+    journal_->append(std::move(r));
+}
+
+void
+WalWriter::fuzzyCheckpoint(const std::vector<TxnId> &active)
+{
+    if (!journal_)
+        return;
+    append(kCheckpointRecordBytes);
+    WalRecord rec;
+    rec.kind = WalRecord::Kind::Checkpoint;
+    log(std::move(rec));
+    // The horizon is the durable LSN: redo below it is covered by the
+    // background writer having flushed the corresponding pages.
+    journal_->checkpoint(flushedLsn_, active);
+    if (faults_)
+        faults_->noteCheckpoint();
 }
 
 Task<void>

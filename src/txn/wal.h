@@ -16,15 +16,88 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "catalog/value.h"
 #include "core/stats.h"
+#include "core/types.h"
 #include "sim/event_loop.h"
 #include "sim/ssd_model.h"
 #include "sim/task.h"
 #include "txn/wait_stats.h"
 
 namespace dbsens {
+
+class FaultInjector;
+
+/**
+ * One logical WAL record with before/after images, captured only when
+ * a journal is attached (crash–recovery runs). The byte-accounting
+ * WAL (append/commit below) is unchanged; the journal is the logical
+ * content recovery replays.
+ */
+struct WalRecord
+{
+    enum class Kind : uint8_t {
+        Update,     ///< single-column update (before/after images)
+        Insert,     ///< row insert (rowImage = after)
+        Delete,     ///< row delete (rowImage = before)
+        Commit,     ///< transaction commit marker
+        Abort,      ///< transaction abort marker (undo already applied)
+        Checkpoint, ///< fuzzy checkpoint marker
+    };
+
+    Kind kind = Kind::Commit;
+    TxnId txn = 0;
+    /** End-of-log LSN when the record was appended. */
+    uint64_t lsn = 0;
+    std::string table;
+    RowId row = kInvalidRow;
+    std::string column;          ///< Update only
+    Value before;                ///< Update before-image
+    Value after;                 ///< Update after-image
+    std::vector<Value> rowImage; ///< Insert after / Delete before
+};
+
+/**
+ * In-"stable-storage" logical journal. Owned by the harness (outside
+ * SimRun) so it survives an injected crash; recovery replays it.
+ */
+class WalJournal
+{
+  public:
+    void append(WalRecord r) { records_.push_back(std::move(r)); }
+
+    const std::vector<WalRecord> &records() const { return records_; }
+    size_t recordCount() const { return records_.size(); }
+    uint64_t checkpointLsn() const { return checkpointLsn_; }
+    uint64_t checkpointCount() const { return checkpointCount_; }
+
+    /**
+     * Fuzzy checkpoint at durable horizon `lsn`: records of
+     * transactions fully resolved (committed/aborted) at or below the
+     * horizon can never be needed again — redo is bounded by the
+     * checkpoint and undo only needs unresolved transactions — so
+     * they are truncated. Records of `active` transactions are kept
+     * in full for undo.
+     */
+    void checkpoint(uint64_t lsn, const std::vector<TxnId> &active);
+
+    /** Reset after a successful recovery (log truncation). */
+    void
+    clear()
+    {
+        records_.clear();
+        checkpointLsn_ = 0;
+    }
+
+  private:
+    std::vector<WalRecord> records_;
+    uint64_t checkpointLsn_ = 0;
+    uint64_t checkpointCount_ = 0;
+};
 
 /** Group-commit WAL writer. */
 class WalWriter
@@ -36,10 +109,41 @@ class WalWriter
     /** Fixed per-flush overhead (sector padding). */
     static constexpr uint64_t kFlushOverhead = 512;
 
+    /** Payload bytes of a checkpoint record. */
+    static constexpr uint64_t kCheckpointRecordBytes = 128;
+
     WalWriter(EventLoop &loop, SsdModel &ssd);
 
     /** Append a log record of `payload_bytes`; returns its LSN. */
     uint64_t append(uint64_t payload_bytes);
+
+    /**
+     * Attach a logical journal: subsequent log() calls capture
+     * records into it (crash–recovery runs only; null detaches).
+     */
+    void attachJournal(WalJournal *j) { journal_ = j; }
+
+    /** True when logical records are being captured. */
+    bool capturing() const { return journal_ != nullptr; }
+
+    WalJournal *journal() { return journal_; }
+
+    /** Optional fault-counter sink for checkpoint accounting. */
+    void setFaultInjector(FaultInjector *f) { faults_ = f; }
+
+    /**
+     * Capture a logical record (no-op without a journal). Stamps the
+     * record with the current end-of-log LSN; callers append() the
+     * physical bytes separately, as before.
+     */
+    void log(WalRecord r);
+
+    /**
+     * Fuzzy checkpoint: append a checkpoint record, mark the durable
+     * horizon in the journal, and truncate records recovery can never
+     * need. `active` lists transactions still in flight.
+     */
+    void fuzzyCheckpoint(const std::vector<TxnId> &active);
 
     /**
      * Harden the log through `lsn` (typically the txn's last append).
@@ -85,6 +189,8 @@ class WalWriter
 
     EventLoop &loop_;
     SsdModel &ssd_;
+    WalJournal *journal_ = nullptr;
+    FaultInjector *faults_ = nullptr;
     uint64_t appendedLsn_ = 0;
     uint64_t flushedLsn_ = 0;
     uint64_t flushCount_ = 0;

@@ -7,7 +7,7 @@
  * growing (rows inserted and deleted during the run) — exercised by a
  * CRUD mix from 128 client sessions. Microsoft's exact transaction
  * set is not public; the mix here follows the documented class
- * behaviour (see DESIGN.md Section 7).
+ * behaviour (see DESIGN.md Section 8).
  */
 
 #ifndef DBSENS_WORKLOADS_ASDB_ASDB_H

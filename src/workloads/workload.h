@@ -46,6 +46,22 @@ retryBackoff(Rng &rng)
     return microseconds(int64_t(100 + rng.uniform(900)));
 }
 
+/**
+ * Back-off before the `attempt`-th retry of a lock-timeout victim:
+ * capped exponential from RunConfig's base/cap plus seeded jitter
+ * (up to half the deterministic delay). attempt >= 1.
+ */
+inline SimDuration
+victimRetryBackoff(Rng &rng, int attempt, const RunConfig &cfg)
+{
+    SimDuration d = cfg.txnRetryBackoffBase;
+    for (int i = 1; i < attempt && d < cfg.txnRetryBackoffCap; ++i)
+        d = d * 2;
+    if (d > cfg.txnRetryBackoffCap)
+        d = cfg.txnRetryBackoffCap;
+    return d + SimDuration(rng.uniform(uint64_t(d / 2 + 1)));
+}
+
 } // namespace dbsens
 
 #endif // DBSENS_WORKLOADS_WORKLOAD_H
