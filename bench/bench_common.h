@@ -111,6 +111,10 @@ toJson(const RunConfig &cfg)
     j["seed"] = Json(cfg.seed);
     j["lock_timeout_ms"] = Json(double(cfg.lockTimeout) / 1e6);
     j["txn_retry_limit"] = Json(cfg.txnRetryLimit);
+    j["deadlock_policy"] =
+        Json(cfg.deadlockPolicy == DeadlockPolicy::Detector
+                 ? "detector"
+                 : "timeout");
     j["fault_enabled"] = Json(cfg.fault.enabled);
     return j;
 }
@@ -137,6 +141,7 @@ toJson(const FaultCounters &c)
     j["checkpoints"] = Json(c.checkpoints);
     j["redo_records"] = Json(c.redoRecords);
     j["undo_records"] = Json(c.undoRecords);
+    j["corruptions"] = Json(c.corruptions);
     return j;
 }
 
@@ -188,6 +193,7 @@ toJson(const OltpRunResult &r)
     j["avg_ssd_write_bps"] = Json(r.avgSsdWriteBps);
     j["avg_dram_bps"] = Json(r.avgDramBps);
     j["lock_timeouts"] = Json(r.lockTimeouts);
+    j["deadlock_aborts"] = Json(r.deadlockAborts);
     j["crashes"] = Json(r.crashes);
     j["recovery_ms"] = Json(r.recoveryMs);
     j["fault"] = toJson(r.fault);

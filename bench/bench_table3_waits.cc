@@ -45,6 +45,7 @@ main(int argc, char **argv)
         const char *paper;
     } rows[] = {
         {WaitClass::Lock, "0.15"},
+        {WaitClass::Deadlock, "n/a"},
         {WaitClass::Latch, "(increases)"},
         {WaitClass::PageLatch, "0.56"},
         {WaitClass::PageIoLatch, "74.61"},

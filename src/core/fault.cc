@@ -90,6 +90,13 @@ FaultInjector::fire(const FaultEvent &ev)
             hooks_.crash();
         }
         break;
+      case FaultEvent::Kind::CorruptRow:
+        if (hooks_.corruptRow) {
+            ++c_.corruptions;
+            ++c_.injected;
+            hooks_.corruptRow(uint64_t(ev.value));
+        }
+        break;
     }
 }
 
@@ -216,6 +223,9 @@ FaultInjector::registerStats(StatsRegistry &reg,
     reg.gauge(prefix + ".undo_records",
               [this] { return double(c_.undoRecords); },
               "WAL records undone at recovery");
+    reg.gauge(prefix + ".corruptions",
+              [this] { return double(c_.corruptions); },
+              "rows silently corrupted (test hook)");
 }
 
 } // namespace dbsens

@@ -41,6 +41,7 @@ struct FaultEvent
         OfflineCores,  ///< take `value` logical cores offline
         RevokeLlcMb,   ///< revoke `value` MB of the LLC allocation
         Crash,         ///< crash the server (volatile state lost)
+        CorruptRow,    ///< test hook: silently flip a stored value
     };
 
     SimTime at = 0;
@@ -86,6 +87,19 @@ struct FaultConfig
 
     /** Scripted events, run in addition to everything above. */
     std::vector<FaultEvent> script;
+
+    /** True when any crash is scheduled — via crashAt or the script —
+     * so the harness knows to set up a crash–recovery run. */
+    bool
+    hasCrash() const
+    {
+        if (crashAt > 0)
+            return true;
+        for (const FaultEvent &ev : script)
+            if (ev.kind == FaultEvent::Kind::Crash)
+                return true;
+        return false;
+    }
 };
 
 /** Cumulative fault/recovery counters (the `fault.*` stats). */
@@ -108,6 +122,7 @@ struct FaultCounters
     uint64_t checkpoints = 0;   ///< fuzzy checkpoints taken
     uint64_t redoRecords = 0;   ///< WAL records redone at recovery
     uint64_t undoRecords = 0;   ///< WAL records undone at recovery
+    uint64_t corruptions = 0;   ///< rows silently corrupted (test hook)
 
     /** Accumulate another phase's counters (crash–recovery runs). */
     void
@@ -130,6 +145,7 @@ struct FaultCounters
         checkpoints += o.checkpoints;
         redoRecords += o.redoRecords;
         undoRecords += o.undoRecords;
+        corruptions += o.corruptions;
     }
 };
 
@@ -156,6 +172,9 @@ class FaultInjector
         std::function<void(int)> offlineCores;
         std::function<void(int)> revokeLlcMb;
         std::function<void()> crash;
+        /** Test hook: corrupt the stored row selected by an ordinal
+         * (bypassing the WAL), so auditors have something to catch. */
+        std::function<void(uint64_t)> corruptRow;
     };
 
     explicit FaultInjector(const FaultConfig &cfg);

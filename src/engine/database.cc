@@ -46,6 +46,23 @@ Database::Table::deleteRow(RowId r, std::vector<PageId> *dirtied)
         dirtied->push_back(rowStore_->pageOfRow(r));
 }
 
+void
+Database::Table::restoreRow(RowId r, const std::vector<Value> &row,
+                            std::vector<PageId> *dirtied)
+{
+    if (row.size() != data->schema().columnCount())
+        panic("row arity mismatch on restore");
+    for (ColumnId c = 0; c < ColumnId(row.size()); ++c)
+        data->column(c).set(r, row[c]);
+    data->unmarkDeleted(r);
+    // Mirror deleteRow: B-tree entries come back, the columnstore
+    // delta is untouched (deleteRow never removed its entry).
+    for (auto &[colname, tree] : indexes_)
+        tree->insert(data->column(colname).getInt(r), r);
+    if (rowStore_ && dirtied)
+        dirtied->push_back(rowStore_->pageOfRow(r));
+}
+
 uint64_t
 Database::Table::dataBytes() const
 {

@@ -63,6 +63,14 @@ class Database : public TableResolver
         /** Remove a row from indexes and mark it deleted. */
         void deleteRow(RowId r, std::vector<PageId> *dirtied = nullptr);
 
+        /**
+         * Undo a delete in place: restore the row's values at its
+         * original RowId, clear the deleted bit, and re-insert index
+         * entries. Keeps RowIds stable across delete/undo cycles.
+         */
+        void restoreRow(RowId r, const std::vector<Value> &row,
+                        std::vector<PageId> *dirtied = nullptr);
+
         /** Real data bytes (heap pages or compressed columns). */
         uint64_t dataBytes() const;
 

@@ -20,7 +20,10 @@ applyUndo(Database &db, const WalRecord &rec)
         t.deleteRow(rec.row);
         break;
     case WalRecord::Kind::Delete:
-        t.insertRow(rec.rowImage);
+        // Restore in place so the row keeps its original RowId — a
+        // fresh insert would break later undo records (and digests)
+        // that refer to this RowId.
+        t.restoreRow(rec.row, rec.rowImage);
         break;
     default:
         panic("applyUndo on non-data WAL record");
@@ -93,6 +96,51 @@ replayWal(Database &db, WalJournal &journal, uint64_t durable_lsn)
 
     journal.clear();
     return st;
+}
+
+void
+reconcileCommittedHistory(WalHistory &history, const WalJournal &journal,
+                          uint64_t durable_lsn)
+{
+    std::unordered_set<TxnId> acked, aborted;
+    for (const WalRecord &r : history.records()) {
+        if (r.kind == WalRecord::Kind::Commit)
+            acked.insert(r.txn);
+        else if (r.kind == WalRecord::Kind::Abort)
+            aborted.insert(r.txn);
+    }
+    // Unacked winners still held all their locks at the crash, so
+    // they cannot conflict with each other; appending their markers
+    // in journal order preserves a valid serialization order.
+    std::unordered_set<TxnId> winners;
+    for (const WalRecord &r : journal.records()) {
+        if (r.kind != WalRecord::Kind::Commit || r.lsn > durable_lsn)
+            continue;
+        winners.insert(r.txn);
+        if (acked.count(r.txn))
+            continue;
+        WalRecord marker;
+        marker.kind = WalRecord::Kind::Commit;
+        marker.txn = r.txn;
+        marker.lsn = r.lsn;
+        history.append(std::move(marker));
+        acked.insert(r.txn);
+    }
+    // Every other transaction with journal data records is a loser
+    // that replayWal is about to undo: mark it aborted in the history
+    // so the oracle drops its records (run-time aborts logged their
+    // own marker already).
+    for (const WalRecord &r : journal.records()) {
+        if (!isDataRecord(r) || winners.count(r.txn) ||
+            acked.count(r.txn) || aborted.count(r.txn))
+            continue;
+        WalRecord marker;
+        marker.kind = WalRecord::Kind::Abort;
+        marker.txn = r.txn;
+        marker.lsn = r.lsn;
+        history.append(std::move(marker));
+        aborted.insert(r.txn);
+    }
 }
 
 } // namespace dbsens

@@ -58,6 +58,19 @@ void applyUndo(Database &db, const WalRecord &rec);
 RecoveryStats replayWal(Database &db, WalJournal &journal,
                         uint64_t durable_lsn);
 
+/**
+ * Reconcile the full-history record with the journal after a crash:
+ * a transaction whose commit record is durable at `durable_lsn` is a
+ * recovery winner even if the crash interrupted its commit
+ * acknowledgement, so the history (whose commit markers are appended
+ * at ack time) may be missing its marker. Append markers for such
+ * transactions so the serializability oracle replays them as
+ * committed. Call before replayWal (which clears the journal).
+ */
+void reconcileCommittedHistory(WalHistory &history,
+                               const WalJournal &journal,
+                               uint64_t durable_lsn);
+
 } // namespace dbsens
 
 #endif // DBSENS_ENGINE_RECOVERY_H

@@ -27,13 +27,23 @@ checkpointer(SimRun &run)
     }
 }
 
+/** Periodic waits-for-graph search (RunConfig::deadlockPolicy). */
+Task<void>
+deadlockMonitor(SimRun &run, SimDuration interval)
+{
+    while (run.running()) {
+        co_await SimDelay(run.loop, interval);
+        run.locks.detectDeadlocks();
+    }
+}
+
 } // namespace
 
 SimRun::SimRun(Database &db, const RunConfig &cfg)
     : cpu(loop, &dram), ssd(loop), feed(llc),
       pool(loop, ssd, calib::bufferPoolRealBytes()), locks(loop),
       wal(loop, ssd), sampler(loop, cfg.sampleInterval), db_(db),
-      cfg_(cfg)
+      cfg_(cfg), txnSeq_(cfg.txnIdBase)
 {
     cpu.setAllowedCores(cfg.cores);
     llc.setTotalAllocationMb(cfg.llcMb);
@@ -45,6 +55,8 @@ SimRun::SimRun(Database &db, const RunConfig &cfg)
     db.bindPool(pool);
     if (cfg.prewarmBufferPool)
         pool.prewarm();
+    if (cfg.history)
+        wal.attachHistory(cfg.history);
 
     if (cfg.fault.enabled) {
         faults = std::make_unique<FaultInjector>(cfg.fault);
@@ -72,6 +84,7 @@ SimRun::SimRun(Database &db, const RunConfig &cfg)
             crashDurableLsn_ = wal.flushedLsn();
             loop.stop();
         };
+        hooks.corruptRow = [this](uint64_t ord) { corruptOneRow(ord); };
         faults->start(*timeline_, hooks);
         faults->registerStats(stats, "fault");
     }
@@ -115,6 +128,32 @@ SimRun::SimRun(Database &db, const RunConfig &cfg)
                      " llcMb=" + std::to_string(cfg.llcMb) +
                      " maxdop=" + std::to_string(cfg.maxdop));
     loop.spawn(checkpointer(*this));
+    if (cfg.deadlockPolicy == DeadlockPolicy::Detector)
+        loop.spawn(deadlockMonitor(*this, cfg.deadlockCheckInterval));
+}
+
+void
+SimRun::corruptOneRow(uint64_t ordinal)
+{
+    const auto &names = db_.tableNames();
+    // Deterministically pick a table with rows, then a row, then the
+    // first int64 column — and bump it without logging or dirtying,
+    // exactly the silent corruption the auditors exist to catch.
+    for (size_t i = 0; i < names.size(); ++i) {
+        Database::Table &t =
+            db_.table(names[(ordinal + i) % names.size()]);
+        if (t.data->rowCount() == 0)
+            continue;
+        const RowId r = RowId(ordinal % t.data->rowCount());
+        const Schema &s = t.data->schema();
+        for (ColumnId c = 0; c < ColumnId(s.columnCount()); ++c) {
+            if (s.column(c).type != TypeId::Int64)
+                continue;
+            ColumnData &cd = t.data->column(c);
+            cd.setInt(r, cd.getInt(r) + 1);
+            return;
+        }
+    }
 }
 
 SimRun::~SimRun()

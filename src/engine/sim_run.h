@@ -11,6 +11,7 @@
 #ifndef DBSENS_ENGINE_SIM_RUN_H
 #define DBSENS_ENGINE_SIM_RUN_H
 
+#include <functional>
 #include <memory>
 #include <unordered_set>
 
@@ -31,6 +32,8 @@
 #include "txn/wal.h"
 
 namespace dbsens {
+
+class SimRun;
 
 /** Resource knobs for one experiment run. */
 struct RunConfig
@@ -70,8 +73,35 @@ struct RunConfig
     int txnRetryLimit = 0;
     SimDuration txnRetryBackoffBase = microseconds(200);
     SimDuration txnRetryBackoffCap = milliseconds(8);
+    /**
+     * Deadlock resolution: TimeoutOnly keeps the seed behaviour;
+     * Detector runs a periodic waits-for-graph cycle search with the
+     * timeout as a fallback.
+     */
+    DeadlockPolicy deadlockPolicy = DeadlockPolicy::TimeoutOnly;
+    /** Cadence of the waits-for-graph search under Detector. */
+    SimDuration deadlockCheckInterval = microseconds(500);
+    /**
+     * Full-history sink for the serializability oracle (src/verify).
+     * Owned by the harness like the journal; null ⇒ no capture and
+     * byte-identical runs.
+     */
+    WalHistory *history = nullptr;
+    /**
+     * Online audit callback, invoked by the harness at the end of
+     * each run phase while the server is still alive (`phase` counts
+     * from 0 across crash segments). Null ⇒ no auditing.
+     */
+    std::function<void(SimRun &, int)> phaseAudit;
     /** Fault-injection regime (disabled ⇒ byte-identical runs). */
     FaultConfig fault;
+    /**
+     * First transaction id minus one. The harness advances this across
+     * crash phases so a resumed run never reuses an earlier phase's
+     * ids — the WAL history and the recovery reconciliation key
+     * transactions by id, and an alias would merge two transactions.
+     */
+    TxnId txnIdBase = 0;
 };
 
 /** One experiment's simulated server and measurement state. */
@@ -127,6 +157,9 @@ class SimRun
     /** Allocate a fresh transaction id. */
     TxnId allocTxnId() { return ++txnSeq_; }
 
+    /** Highest transaction id allocated so far (crash-phase handoff). */
+    TxnId lastTxnId() const { return txnSeq_; }
+
     /** Query memory available for grants under this config. */
     uint64_t
     queryGrantBytes() const
@@ -168,6 +201,13 @@ class SimRun
     SimTime crashTime() const { return crashTime_; }
     /** Durable WAL horizon captured at the crash point. */
     uint64_t crashDurableLsn() const { return crashDurableLsn_; }
+
+    /**
+     * Test hook for FaultEvent::Kind::CorruptRow: silently bump a
+     * stored value picked by `ordinal`, bypassing the WAL and page
+     * versioning, so auditors have a genuine defect to catch.
+     */
+    void corruptOneRow(uint64_t ordinal);
 
     // ----- active-transaction tracking (fuzzy checkpoints; only
     // ----- maintained while the WAL is capturing a journal)

@@ -170,6 +170,12 @@ TxnCtx::updateRow(Database::Table &t, RowId r, const std::string &column,
         captured_.push_back(rec);
         run_.wal.log(std::move(rec));
     }
+    // The logical content change is atomic with its log record: a
+    // logged record of a still-active transaction must always be
+    // applied, or a run that ends with this coroutine suspended below
+    // leaves a record the replay oracle cannot classify. The awaits
+    // that follow model only the timing of the page fix and latch.
+    t.data->column(column).set(r, v);
     if (t.rowStore) {
         const PageId p = t.rowStore->pageOfRow(r);
         co_await flushCpu();
@@ -177,14 +183,11 @@ TxnCtx::updateRow(Database::Table &t, RowId r, const std::string &column,
         SimMutex &latch = run_.latches.latchFor(p);
         co_await latch.acquire(run_.loop, &run_.waits,
                                WaitClass::PageLatch);
-        t.data->column(column).set(r, v);
         run_.pool.markDirty(p);
         // The page modification occupies the latch for a short burst;
         // without simulated hold time latches could never contend.
         co_await run_.cpu.consume(CpuWork{kLatchHoldNs, 0, 0});
         latch.release(run_.loop);
-    } else {
-        t.data->column(column).set(r, v);
     }
     logLsn_ = run_.wal.append(oltpcost::kLogBytesRowUpdate);
 }
@@ -217,6 +220,12 @@ TxnCtx::insertRow(Database::Table &t, const std::vector<Value> &row)
         rec.rowImage = row;
         captured_.push_back(rec);
         run_.wal.log(std::move(rec));
+        // X-lock the fresh row so no other transaction can read or
+        // update the uncommitted insert (a dirty write would break
+        // the serializability the verify oracle checks). The RowId is
+        // brand new, so the grant is immediate: Task's symmetric
+        // transfer resumes us inline with zero simulated delay.
+        co_await run_.locks.acquire(id_, t.id, r, LockMode::X, nullptr);
     }
     // Slot allocation + row copy occupy the latch (see updateRow).
     co_await run_.cpu.consume(CpuWork{kLatchHoldNs, 0, 0});
@@ -281,6 +290,10 @@ TxnCtx::commit()
     }
     if (logLsn_ > 0)
         co_await run_.wal.commit(logLsn_, &run_.waits);
+    // History commit marker at durable-ack time, while locks are
+    // still held: marker order is a valid serialization order.
+    if (!captured_.empty())
+        run_.wal.noteDurableCommit(id_);
     run_.locks.releaseAll(id_);
     run_.noteTxnEnd(id_);
     ++run_.txnsCommitted;

@@ -33,7 +33,7 @@ runOltpOn(OltpWorkload &workload, Database &db, RunConfig cfg)
     // Crash–recovery runs capture logical WAL records into a journal
     // owned here — outside any SimRun — so it survives the crash.
     WalJournal journal;
-    const bool crash_run = cfg.fault.enabled && cfg.fault.crashAt > 0;
+    const bool crash_run = cfg.fault.enabled && cfg.fault.hasCrash();
 
     OltpRunResult res;
     uint64_t committed = 0, queries = 0;
@@ -71,6 +71,7 @@ runOltpOn(OltpWorkload &workload, Database &db, RunConfig cfg)
             res.txnsRetried += run.txnsRetried;
             res.txnsGivenUp += run.txnsGivenUp;
             res.lockTimeouts += run.locks.timeouts();
+            res.deadlockAborts += run.locks.deadlocks();
             res.waits.merge(run.waits);
             sampled_misses += double(run.feed.misses() - miss_base);
             instr += run.instructionsRetired;
@@ -89,6 +90,14 @@ runOltpOn(OltpWorkload &workload, Database &db, RunConfig cfg)
             crashed = run.crashed();
             crash_time = run.crashTime();
             durable_lsn = run.crashDurableLsn();
+            // The resumed phase must not reuse this phase's txn ids:
+            // the history and the recovery reconciliation key
+            // transactions by id across the whole run.
+            phase_cfg.txnIdBase = run.lastTxnId();
+            // Online audits run while the server object is alive, so
+            // auditors can see the lock table and buffer pool.
+            if (phase_cfg.phaseAudit)
+                phase_cfg.phaseAudit(run, phase);
             run.wal.attachJournal(nullptr);
         }
         if (!crashed)
@@ -97,6 +106,11 @@ runOltpOn(OltpWorkload &workload, Database &db, RunConfig cfg)
         // Restart recovery: replay the journal against the database,
         // charging the restart time to WaitClass::Recovery.
         ++res.crashes;
+        // Unacked-but-durable winners must gain their history commit
+        // markers before the journal is replayed (and cleared).
+        if (phase_cfg.history)
+            reconcileCommittedHistory(*phase_cfg.history, journal,
+                                      durable_lsn);
         const RecoveryStats rec = replayWal(db, journal, durable_lsn);
         res.recoveryMs += toSeconds(rec.simNs) * 1e3;
         res.waits.add(WaitClass::Recovery, rec.simNs);
@@ -112,9 +126,23 @@ runOltpOn(OltpWorkload &workload, Database &db, RunConfig cfg)
             break;
         phase_cfg.warmup = 0;
         phase_cfg.duration = remaining;
-        phase_cfg.fault.crashAt = 0; // one crash per run
+        phase_cfg.fault.crashAt = 0; // the crashAt point already fired
         phase_cfg.prewarmBufferPool = false; // restart = cold cache
         phase_cfg.seed = phase_cfg.seed * 1664525 + 1013904223;
+        // Shift still-pending scripted events into the resumed run's
+        // clock (crash_time elapsed, recovery consumed rec.simNs of
+        // the window). A later scripted crash can fire again, giving
+        // repeated crash–recover–crash cycles.
+        std::vector<FaultEvent> shifted;
+        for (const FaultEvent &ev : phase_cfg.fault.script) {
+            if (ev.at <= crash_time)
+                continue;
+            FaultEvent e2 = ev;
+            e2.at = ev.at - crash_time - rec.simNs;
+            if (e2.at > 0)
+                shifted.push_back(e2);
+        }
+        phase_cfg.fault.script = std::move(shifted);
     }
 
     // Rates are over the configured window: crash + recovery time is

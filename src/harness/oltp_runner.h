@@ -36,6 +36,9 @@ struct OltpRunResult
     Distribution ssdWrite;
     Distribution dram;
     uint64_t lockTimeouts = 0;
+    /** Victims of the waits-for-graph detector (counted separately
+     * from timeout-resolved aborts). */
+    uint64_t deadlockAborts = 0;
     /** Raw victim-retry counters (satellites of txnsAborted). */
     uint64_t txnsRetried = 0;
     uint64_t txnsGivenUp = 0;

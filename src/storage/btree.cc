@@ -306,4 +306,69 @@ BTree::checkInvariants() const
         panic("btree: entry count mismatch");
 }
 
+bool
+BTree::validate(std::string *err) const
+{
+    // Same checks as checkInvariants(), but reporting instead of
+    // aborting, so online auditors can collect violations.
+    struct Walker
+    {
+        int leafDepth = -1;
+        uint64_t entries = 0;
+        const char *fault = nullptr;
+
+        void
+        walk(const Node *n, int depth, int64_t lo, int64_t hi)
+        {
+            if (fault)
+                return;
+            for (size_t i = 1; i < n->keys.size(); ++i)
+                if (n->keys[i - 1] > n->keys[i]) {
+                    fault = "keys out of order";
+                    return;
+                }
+            if (!n->keys.empty() &&
+                (n->keys.front() < lo || n->keys.back() > hi)) {
+                fault = "key outside separator bounds";
+                return;
+            }
+            if (n->leaf) {
+                if (leafDepth < 0)
+                    leafDepth = depth;
+                else if (leafDepth != depth) {
+                    fault = "uneven leaf depth";
+                    return;
+                }
+                entries += n->keys.size();
+                return;
+            }
+            if (n->kids.size() != n->keys.size() + 1) {
+                fault = "inner child count mismatch";
+                return;
+            }
+            for (size_t i = 0; i < n->kids.size() && !fault; ++i) {
+                const int64_t klo = i == 0 ? lo : n->keys[i - 1];
+                const int64_t khi =
+                    i == n->keys.size() ? hi : n->keys[i];
+                walk(n->kids[i], depth + 1, klo, khi);
+            }
+        }
+    };
+    Walker w;
+    w.walk(root_, 0, INT64_MIN, INT64_MAX);
+    const char *fault = w.fault;
+    if (!fault && w.entries != entries_)
+        fault = "entry count mismatch";
+    if (fault) {
+        if (err) {
+            if (!err->empty())
+                *err += "; ";
+            *err += "btree: ";
+            *err += fault;
+        }
+        return false;
+    }
+    return true;
+}
+
 } // namespace dbsens

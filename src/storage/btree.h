@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/types.h"
@@ -99,6 +100,13 @@ class BTree
     /** Validate B+tree invariants (test support): sorted keys,
      * balanced depth, fill bounds. Aborts on violation. */
     void checkInvariants() const;
+
+    /**
+     * Non-aborting variant of checkInvariants() for online auditors:
+     * returns true when the tree is structurally sound, else appends a
+     * description of the first violation to `err`.
+     */
+    bool validate(std::string *err) const;
 
   private:
     struct Node;

@@ -63,6 +63,12 @@ class BufferPool
     /** Verify an object's stored checksum against its identity. */
     bool verifyObject(PageId id) const;
 
+    /** Every registered object, in registration order (audit sweep). */
+    const std::vector<PageId> &registeredObjects() const
+    {
+        return registrationOrder_;
+    }
+
     /** Torn pages detected (checksum mismatches on load). */
     uint64_t tornPagesDetected() const { return tornDetected_; }
 

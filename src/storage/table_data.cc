@@ -31,6 +31,15 @@ TableData::markDeleted(RowId r)
     }
 }
 
+void
+TableData::unmarkDeleted(RowId r)
+{
+    if (deleted_[r]) {
+        deleted_[r] = false;
+        --deletedCount_;
+    }
+}
+
 std::vector<Value>
 TableData::getRow(RowId r) const
 {

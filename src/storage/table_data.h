@@ -38,6 +38,10 @@ class TableData
     bool isDeleted(RowId r) const { return deleted_[r]; }
     void markDeleted(RowId r);
 
+    /** Bring a deleted row back to life (undo of a delete restores
+     * the row in place, keeping RowIds stable). */
+    void unmarkDeleted(RowId r);
+
     ColumnData &column(ColumnId c) { return *cols_[c]; }
     const ColumnData &column(ColumnId c) const { return *cols_[c]; }
 

@@ -3,10 +3,25 @@
  * Multi-mode lock manager (strict two-phase locking).
  *
  * Supports intent (IS/IX) table locks and shared/update/exclusive
- * (S/U/X) row locks with the standard compatibility matrix, FIFO
- * waiting without barging (except lock upgrades), and timeout-based
- * deadlock resolution. Wait times are charged to WaitClass::Lock,
- * which is what the paper's Table 3 reports as LOCK waits.
+ * (S/U/X) row locks with the standard compatibility matrix and FIFO
+ * waiting without barging (except lock upgrades). Wait times are
+ * charged to WaitClass::Lock, which is what the paper's Table 3
+ * reports as LOCK waits.
+ *
+ * Deadlock resolution is policy-selectable (RunConfig):
+ *
+ *  - TimeoutOnly: every waiter arms a timer; a waiter still queued
+ *    when it fires is aborted as a timeout victim (the seed
+ *    behaviour).
+ *  - Detector: a periodic waits-for-graph cycle search (SQL Server's
+ *    lock-monitor shape) victimizes one member per cycle — the
+ *    cheapest to roll back (fewest held locks, then youngest). The
+ *    timeout stays armed as a fallback for waits the detector cannot
+ *    resolve (e.g. a victim whose blocker never releases).
+ *
+ * The two resolution paths are counted separately (`locks.timeouts`
+ * vs `locks.deadlocks`), and a detected victim's blocked time is
+ * charged to WaitClass::Deadlock instead of WaitClass::Lock.
  */
 
 #ifndef DBSENS_TXN_LOCK_MANAGER_H
@@ -34,6 +49,12 @@ const char *lockModeName(LockMode m);
 /** True if a held lock of mode `held` admits a request of `req`. */
 bool lockCompatible(LockMode held, LockMode req);
 
+/** How lock-wait cycles are broken (RunConfig::deadlockPolicy). */
+enum class DeadlockPolicy : uint8_t {
+    TimeoutOnly, ///< timers only (seed behaviour)
+    Detector,    ///< periodic waits-for cycle search + timer fallback
+};
+
 /** Lock manager with per-resource FIFO queues. */
 class LockManager
 {
@@ -49,9 +70,10 @@ class LockManager
 
     /**
      * Acquire a lock on (table, row); row == kInvalidRow addresses
-     * the table itself. Returns false on timeout (caller aborts and
-     * retries the transaction). A transaction already holding the
-     * resource in a weaker mode upgrades in place when compatible.
+     * the table itself. Returns false on timeout or deadlock
+     * victimization (caller aborts and retries the transaction). A
+     * transaction already holding the resource in a weaker mode
+     * upgrades in place when compatible.
      */
     Task<bool> acquire(TxnId txn, TableId table, RowId row, LockMode mode,
                        WaitStats *stats);
@@ -59,11 +81,24 @@ class LockManager
     /** Release every lock held by `txn` (commit/abort). */
     void releaseAll(TxnId txn);
 
-    /** Locks currently held by `txn` (testing). */
+    /** Locks currently held by `txn` (testing / victim cost). */
     size_t heldCount(TxnId txn) const;
 
-    /** Total timeouts observed (deadlock resolution events). */
+    /**
+     * One waits-for-graph pass: build blocked-by edges (waiter ->
+     * incompatible holders and waiter -> earlier waiters in the same
+     * FIFO queue — both genuinely block it), find cycles, and abort
+     * one victim per cycle until the graph is acyclic. Victims resume
+     * immediately with failure, without waiting for their timers.
+     * Returns the number of victims aborted.
+     */
+    size_t detectDeadlocks();
+
+    /** Total timeouts observed (fallback deadlock resolution). */
     uint64_t timeouts() const { return timeouts_; }
+
+    /** Waiters aborted by the waits-for-graph detector. */
+    uint64_t deadlocks() const { return deadlocks_; }
 
     /** Total lock acquisitions granted. */
     uint64_t grants() const { return grants_; }
@@ -77,10 +112,33 @@ class LockManager
         reg.gauge(prefix + ".timeouts",
                   [this] { return double(timeouts_); },
                   "deadlock-resolution timeouts");
+        reg.gauge(prefix + ".deadlocks",
+                  [this] { return double(deadlocks_); },
+                  "waits-for-graph deadlock victims");
         reg.gauge(prefix + ".queues",
                   [this] { return double(queues_.size()); },
                   "resources with holders or waiters");
     }
+
+    // ----- consistency-audit views (src/verify): read-only summaries
+    // ----- of the internal tables, so auditors can cross-check them.
+
+    /** Transactions currently holding at least one lock. */
+    std::vector<TxnId> holdingTxns() const;
+
+    /** Transactions currently parked in some wait queue. */
+    std::vector<TxnId> waitingTxns() const;
+
+    /** Resources with a non-empty holder or waiter list. */
+    size_t queueCount() const { return queues_.size(); }
+
+    /**
+     * Internal cross-consistency check: every holder entry appears in
+     * the per-txn held index and vice versa, no queue is empty yet
+     * retained, and no waiter is marked granted. Returns true when
+     * consistent; appends a description to `err` otherwise.
+     */
+    bool auditConsistent(std::string *err) const;
 
     /** Wait-queue entry (public for the internal park awaitable). */
     struct Waiter
@@ -93,6 +151,8 @@ class LockManager
         std::coroutine_handle<> handle;
         bool granted = false;
         bool timedOut = false;
+        /** Aborted by the waits-for-graph detector. */
+        bool deadlockVictim = false;
     };
 
   private:
@@ -126,6 +186,7 @@ class LockManager
     std::unordered_map<TxnId, std::vector<uint64_t>> held_;
     SimDuration timeout_ = kDefaultLockTimeout;
     uint64_t timeouts_ = 0;
+    uint64_t deadlocks_ = 0;
     uint64_t grants_ = 0;
     uint64_t nextWaiterId_ = 0;
 };

@@ -27,6 +27,7 @@ enum class WaitClass : uint8_t {
     PageIoLatch, ///< buffer page latch while the page is read from SSD
     WriteLog,    ///< commit waiting for WAL flush
     Recovery,    ///< crash recovery (WAL analysis/redo/undo replay)
+    Deadlock,    ///< blocked in a detected deadlock until victimized
     kCount,
 };
 
@@ -41,6 +42,7 @@ waitClassName(WaitClass c)
       case WaitClass::PageIoLatch: return "PAGEIOLATCH";
       case WaitClass::WriteLog: return "WRITELOG";
       case WaitClass::Recovery: return "RECOVERY";
+      case WaitClass::Deadlock: return "DEADLOCK";
       default: return "?";
     }
 }

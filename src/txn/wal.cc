@@ -72,10 +72,30 @@ WalWriter::append(uint64_t payload_bytes)
 void
 WalWriter::log(WalRecord r)
 {
-    if (!journal_)
+    if (!journal_ && !history_)
         return;
     r.lsn = appendedLsn_;
-    journal_->append(std::move(r));
+    // The history mirrors data records and aborts; commit markers are
+    // appended separately at durable-ack time (noteDurableCommit), and
+    // checkpoints never matter for replay since the history is not
+    // truncated.
+    if (history_ && r.kind != WalRecord::Kind::Commit &&
+        r.kind != WalRecord::Kind::Checkpoint)
+        history_->append(r);
+    if (journal_)
+        journal_->append(std::move(r));
+}
+
+void
+WalWriter::noteDurableCommit(TxnId txn)
+{
+    if (!history_)
+        return;
+    WalRecord rec;
+    rec.kind = WalRecord::Kind::Commit;
+    rec.txn = txn;
+    rec.lsn = flushedLsn_;
+    history_->append(std::move(rec));
 }
 
 void

@@ -99,6 +99,29 @@ class WalJournal
     uint64_t checkpointCount_ = 0;
 };
 
+/**
+ * Append-only record of every data mutation and commit marker, in the
+ * order the engine produced them. Unlike WalJournal it is never
+ * truncated by checkpoints, so the serializability oracle
+ * (src/verify) can replay the complete committed history of a run.
+ * Commit markers are appended only once the commit is durably acked
+ * (WalWriter::noteDurableCommit), so marker order is the order
+ * transactions released their locks under strict 2PL.
+ */
+class WalHistory
+{
+  public:
+    void append(WalRecord r) { records_.push_back(std::move(r)); }
+
+    const std::vector<WalRecord> &records() const { return records_; }
+    size_t recordCount() const { return records_.size(); }
+
+    void clear() { records_.clear(); }
+
+  private:
+    std::vector<WalRecord> records_;
+};
+
 /** Group-commit WAL writer. */
 class WalWriter
 {
@@ -123,10 +146,22 @@ class WalWriter
      */
     void attachJournal(WalJournal *j) { journal_ = j; }
 
+    /**
+     * Attach a full-history sink: data records and abort markers are
+     * mirrored into it, and noteDurableCommit() appends commit
+     * markers. Used by the verification oracle (null detaches).
+     */
+    void attachHistory(WalHistory *h) { history_ = h; }
+
     /** True when logical records are being captured. */
-    bool capturing() const { return journal_ != nullptr; }
+    bool capturing() const
+    {
+        return journal_ != nullptr || history_ != nullptr;
+    }
 
     WalJournal *journal() { return journal_; }
+
+    WalHistory *history() { return history_; }
 
     /** Optional fault-counter sink for checkpoint accounting. */
     void setFaultInjector(FaultInjector *f) { faults_ = f; }
@@ -137,6 +172,14 @@ class WalWriter
      * physical bytes separately, as before.
      */
     void log(WalRecord r);
+
+    /**
+     * Append a commit marker to the attached history (no-op without
+     * one). Called after the commit's flush wait completes, while the
+     * transaction still holds its locks, so marker order respects
+     * conflict order under strict 2PL.
+     */
+    void noteDurableCommit(TxnId txn);
 
     /**
      * Fuzzy checkpoint: append a checkpoint record, mark the durable
@@ -190,6 +233,7 @@ class WalWriter
     EventLoop &loop_;
     SsdModel &ssd_;
     WalJournal *journal_ = nullptr;
+    WalHistory *history_ = nullptr;
     FaultInjector *faults_ = nullptr;
     uint64_t appendedLsn_ = 0;
     uint64_t flushedLsn_ = 0;

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Online consistency auditors. Each auditor inspects one engine
+ * structure — B-trees, buffer-pool checksums, the lock table, or the
+ * table data against the committed WAL history — and appends
+ * violations to an AuditReport instead of aborting, so a chaos run
+ * can collect everything that went wrong and hand it to the
+ * minimizer (see chaos.h).
+ *
+ * The strongest check is the serializability oracle: replay the
+ * committed transaction history (WalHistory commit markers are
+ * appended at durable-ack time while locks are still held, so marker
+ * order is a valid serialization order under strict 2PL) against a
+ * freshly generated copy of the database on a single thread, and
+ * compare per-table digests with the state the concurrent run
+ * actually produced. Any lost write, dirty write, phantom RowId, or
+ * silent corruption shows up as a digest mismatch.
+ */
+
+#ifndef DBSENS_VERIFY_VERIFY_H
+#define DBSENS_VERIFY_VERIFY_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "txn/lock_manager.h"
+#include "txn/wal.h"
+
+namespace dbsens {
+namespace verify {
+
+/** One consistency violation found by an auditor. */
+struct Violation
+{
+    std::string auditor; ///< which auditor fired (e.g. "btree")
+    std::string detail;  ///< human-readable description
+};
+
+/** Everything the auditors found in one pass. */
+struct AuditReport
+{
+    std::vector<Violation> violations;
+    uint64_t btreesChecked = 0;
+    uint64_t pagesChecked = 0;
+    uint64_t indexEntriesChecked = 0;
+    uint64_t historyRecordsReplayed = 0;
+    uint64_t tablesCompared = 0;
+
+    bool ok() const { return violations.empty(); }
+
+    void
+    add(const std::string &auditor, const std::string &detail)
+    {
+        violations.push_back({auditor, detail});
+    }
+
+    void
+    merge(const AuditReport &o)
+    {
+        violations.insert(violations.end(), o.violations.begin(),
+                          o.violations.end());
+        btreesChecked += o.btreesChecked;
+        pagesChecked += o.pagesChecked;
+        indexEntriesChecked += o.indexEntriesChecked;
+        historyRecordsReplayed += o.historyRecordsReplayed;
+        tablesCompared += o.tablesCompared;
+    }
+
+    /** One line per violation ("auditor: detail"), or "ok". */
+    std::string summary() const;
+};
+
+/** Structural/ordering validation of every B-tree in the database. */
+void auditBTrees(Database &db, AuditReport &rep);
+
+/** Checksum sweep over every object registered with the pool. */
+void auditBufferPool(const BufferPool &pool, AuditReport &rep);
+
+/**
+ * Lock-table audit: internal cross-consistency (holder <-> held-index
+ * agreement, no retained empty queues, no resolved waiter still
+ * queued), plus leak detection — every transaction still holding or
+ * waiting on a lock must appear in `active_txns` (transactions between
+ * begin and commit/rollback); a lock owned by a finished transaction
+ * is a leak, a queued waiter of one is an orphan.
+ */
+void auditLockTable(const LockManager &locks,
+                    const std::vector<TxnId> &active_txns,
+                    AuditReport &rep);
+
+/**
+ * Index <-> table-data cross-check: every B-tree entry points at a
+ * live row whose column value equals the entry key, and entry counts
+ * match live row counts. Catches silent data corruption of indexed
+ * columns and index maintenance bugs.
+ */
+void auditIndexes(Database &db, AuditReport &rep);
+
+/** FNV-1a digest over a table's live rows (RowId + values). */
+uint64_t tableDataDigest(const Database::Table &t);
+
+/** Per-table digests for a whole database. */
+std::map<std::string, uint64_t> databaseDigest(Database &db);
+
+/**
+ * Serializability / WAL<->data cross-check: replay `history` (the
+ * full committed record of the run) against `oracle`, a
+ * freshly generated copy of the run's *initial* database, then
+ * compare per-table digests with `actual`, the database the
+ * concurrent (and possibly crash-recovered) run produced. Aborted
+ * transactions' buffered records are dropped; RowIds consumed by
+ * losers are padded with deleted filler rows so surviving RowIds
+ * stay aligned.
+ */
+void replayOracle(Database &actual, Database &oracle,
+                  const WalHistory &history, AuditReport &rep);
+
+} // namespace verify
+} // namespace dbsens
+
+#endif // DBSENS_VERIFY_VERIFY_H
