@@ -116,6 +116,47 @@ toJson(const RunConfig &cfg)
                  ? "detector"
                  : "timeout");
     j["fault_enabled"] = Json(cfg.fault.enabled);
+    j["tune_enabled"] = Json(cfg.tune.enabled);
+    j["tune_policy"] = Json(cfg.tune.enabled
+                                ? tunePolicyName(cfg.tune.policy)
+                                : "off");
+    return j;
+}
+
+/** One tenant's resource share (the `tune.tN.*` family). */
+inline Json
+toJson(const TenantShare &s)
+{
+    Json j = Json::object();
+    j["cores"] = Json(s.cores);
+    j["llc_mb"] = Json(s.llcMb);
+    j["maxdop"] = Json(s.maxdop);
+    j["grant_mb"] = Json(double(s.grantBytes >> 20));
+    return j;
+}
+
+/** Autopilot summary counters and final knob state. */
+inline Json
+toJson(const TuneResult &r)
+{
+    Json j = Json::object();
+    j["enabled"] = Json(r.enabled);
+    j["policy"] = Json(r.policy);
+    j["epochs"] = Json(r.epochs);
+    j["probes"] = Json(r.probes);
+    j["shifts"] = Json(r.shifts);
+    j["rollbacks"] = Json(r.rollbacks);
+    j["score"] = Json(r.score);
+    // Hex string: a 64-bit digest does not survive the double-backed
+    // JSON number representation.
+    char digest[24];
+    std::snprintf(digest, sizeof digest, "%016llx",
+                  (unsigned long long)r.trajectoryDigest);
+    j["trajectory_digest"] = Json(digest);
+    Json tenants = Json::array();
+    for (int t = 0; t < kNumTenants; ++t)
+        tenants.push(toJson(r.finalState.tenant[t]));
+    j["final_state"] = std::move(tenants);
     return j;
 }
 
@@ -196,7 +237,9 @@ toJson(const OltpRunResult &r)
     j["deadlock_aborts"] = Json(r.deadlockAborts);
     j["crashes"] = Json(r.crashes);
     j["recovery_ms"] = Json(r.recoveryMs);
+    j["olap_useful_per_s"] = Json(r.olapUsefulPerSec);
     j["fault"] = toJson(r.fault);
+    j["tune"] = toJson(r.tune);
     j["waits"] = toJson(r.waits);
     Json series = Json::object();
     series["ssd_read_Bps"] = toJson(r.ssdRead);

@@ -15,6 +15,11 @@ PAPER_BENCHES="bench_table2_sizes bench_table3_waits \
     bench_fig7_plans bench_fig8_memgrant \
     bench_fig9_faults bench_pitfalls bench_ablation"
 
+# bench_fig10_autopilot runs three full HTAP arms plus an oracle
+# sweep; --small keeps the script's runtime sane. Drop the flag for
+# the paper-scale arbitration numbers.
+FIG10="bench_fig10_autopilot --small"
+
 if [ "${1:-}" = "wallclock" ]; then
     build/bench/bench_wallclock > BENCH_wallclock.json \
         || echo "BENCH FAILED: bench_wallclock" >&2
@@ -37,6 +42,14 @@ if [ "${1:-}" = "report" ]; then
             echo "BENCH FAILED: $b" >&2
         fi
     done
+    echo ""
+    echo "##### bench_fig10_autopilot (--small --json) #####"
+    # shellcheck disable=SC2086
+    if build/bench/$FIG10 --json reports/bench_fig10_autopilot.json; then
+        collected="$collected reports/bench_fig10_autopilot.json"
+    else
+        echo "BENCH FAILED: bench_fig10_autopilot" >&2
+    fi
     # shellcheck disable=SC2086
     build/tools/report_tool merge BENCH_report.json $collected
     exit 0
@@ -47,3 +60,7 @@ for b in $PAPER_BENCHES bench_micro; do
     echo "##### build/bench/$b #####"
     "build/bench/$b" || echo "BENCH FAILED: $b"
 done
+echo ""
+echo "##### build/bench/$FIG10 #####"
+# shellcheck disable=SC2086
+build/bench/$FIG10 || echo "BENCH FAILED: bench_fig10_autopilot"

@@ -40,6 +40,7 @@ class TraceRecorder
     /** Well-known tracks (Chrome `tid`s). */
     static constexpr int kEngineTrack = 0; ///< waits, grants, WAL
     static constexpr int kIoTrack = 1;     ///< SSD channel activity
+    static constexpr int kTuneTrack = 2;   ///< autopilot decisions
     static constexpr int kFirstQueryTrack = 16; ///< per-query tracks
 
     /** Currently active recorder, or nullptr (tracing off). */

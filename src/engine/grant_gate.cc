@@ -29,12 +29,14 @@ struct Park
 } // namespace
 
 Task<bool>
-GrantGate::acquire(uint64_t bytes)
+GrantGate::acquire(uint64_t bytes, uint64_t *granted)
 {
     const uint64_t need = clamp(bytes);
-    if (waiters_.empty() && need <= free_) {
-        free_ -= need;
-        peakReserved_ = std::max(peakReserved_, capacity_ - free_);
+    if (waiters_.empty() && need <= freeBytes()) {
+        reserved_ += need;
+        peakReserved_ = std::max(peakReserved_, reserved_);
+        if (granted)
+            *granted = need;
         co_return true;
     }
     Waiter w{need, ++nextWaiterId_, {}, false};
@@ -58,11 +60,15 @@ GrantGate::acquire(uint64_t bytes)
         });
     }
     co_await Park{&w, &waiters_};
-    // Unless shed, pump() already deducted our bytes before resuming.
+    // Unless shed, pump() already reserved our bytes before resuming
+    // (w.bytes may have been re-clamped by a capacity shrink while
+    // queued — report what was actually reserved).
+    if (granted)
+        *granted = w.shed ? 0 : w.bytes;
     if (auto *tr = TraceRecorder::active())
         tr->complete(TraceRecorder::kEngineTrack, "grant",
                      w.shed ? "grant.shed" : "grant.queue", start,
-                     loop_.now(), "bytes", double(need));
+                     loop_.now(), "bytes", double(w.bytes));
     co_return !w.shed;
 }
 
@@ -71,11 +77,11 @@ GrantGate::pump()
 {
     while (!waiters_.empty()) {
         Waiter *w = waiters_.front();
-        if (w->bytes > free_)
+        if (w->bytes > freeBytes())
             break; // FIFO: later small requests wait behind it
         waiters_.pop_front();
-        free_ -= w->bytes;
-        peakReserved_ = std::max(peakReserved_, capacity_ - free_);
+        reserved_ += w->bytes;
+        peakReserved_ = std::max(peakReserved_, reserved_);
         loop_.post(w->handle);
     }
 }
@@ -83,10 +89,25 @@ GrantGate::pump()
 void
 GrantGate::release(uint64_t bytes)
 {
-    const uint64_t back = clamp(bytes);
-    free_ += back;
-    if (free_ > capacity_)
-        panic("GrantGate::release beyond capacity");
+    // Callers may release the amount they *requested*; an oversized
+    // request was clamped at acquire, so clamp symmetrically here.
+    // Callers that need exactness (capacity can shrink while they
+    // hold) release the `granted` out-param instead.
+    reserved_ -= std::min(bytes, reserved_);
+    pump();
+}
+
+void
+GrantGate::setCapacity(uint64_t bytes)
+{
+    if (bytes == 0)
+        fatal("grant capacity must be positive");
+    capacity_ = bytes;
+    // Shrinking below the outstanding reservations must not wedge the
+    // queue: re-clamp queued requests so each stays admissible once
+    // current holders drain, then admit whatever now fits.
+    for (Waiter *w : waiters_)
+        w->bytes = clamp(w->bytes);
     pump();
 }
 

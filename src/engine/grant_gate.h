@@ -32,7 +32,7 @@ class GrantGate
 {
   public:
     GrantGate(EventLoop &loop, uint64_t capacity_bytes)
-        : loop_(loop), capacity_(capacity_bytes), free_(capacity_bytes)
+        : loop_(loop), capacity_(capacity_bytes)
     {
     }
 
@@ -56,15 +56,37 @@ class GrantGate
      * later ones). Requests above capacity are clamped to capacity,
      * as SQL Server caps grants at the pool size. Returns false when
      * the waiter was shed by the queue timeout (no bytes reserved —
-     * the caller must not release).
+     * the caller must not release). `granted` (optional) receives the
+     * exact reserved byte count (0 when shed) — release that amount,
+     * not the requested one, so a capacity resize between acquire and
+     * release can never corrupt the ledger.
      */
-    Task<bool> acquire(uint64_t bytes);
+    Task<bool> acquire(uint64_t bytes, uint64_t *granted = nullptr);
 
-    /** Return a reservation made by acquire (same byte count). */
+    /** Return a reservation made by acquire (the granted count). */
     void release(uint64_t bytes);
 
+    /**
+     * Resize the query-memory pool mid-run (the autopilot's budget
+     * knob). Growing admits queued waiters immediately. Shrinking
+     * never deadlocks: outstanding reservations above the new
+     * capacity simply drain as their holders release, and queued
+     * requests larger than the new capacity are re-clamped so they
+     * stay admissible once the pool empties.
+     */
+    void setCapacity(uint64_t bytes);
+
     uint64_t capacityBytes() const { return capacity_; }
-    uint64_t freeBytes() const { return free_; }
+
+    uint64_t
+    freeBytes() const
+    {
+        return capacity_ > reserved_ ? capacity_ - reserved_ : 0;
+    }
+
+    /** Bytes currently reserved by in-flight grants. */
+    uint64_t reservedBytes() const { return reserved_; }
+
     size_t waiterCount() const { return waiters_.size(); }
 
     /** Peak concurrent reservations observed (for reporting). */
@@ -78,8 +100,11 @@ class GrantGate
                   [this] { return double(capacity_); },
                   "query-memory pool size");
         reg.gauge(prefix + ".free_bytes",
-                  [this] { return double(free_); },
+                  [this] { return double(freeBytes()); },
                   "unreserved query memory");
+        reg.gauge(prefix + ".reserved_bytes",
+                  [this] { return double(reserved_); },
+                  "bytes reserved by in-flight grants");
         reg.gauge(prefix + ".peak_reserved_bytes",
                   [this] { return double(peakReserved_); },
                   "peak concurrent reservations");
@@ -112,7 +137,7 @@ class GrantGate
 
     EventLoop &loop_;
     uint64_t capacity_;
-    uint64_t free_;
+    uint64_t reserved_ = 0;
     uint64_t peakReserved_ = 0;
     SimDuration queueTimeout_ = 0;
     FaultInjector *faults_ = nullptr;

@@ -8,6 +8,7 @@
 #include "core/trace.h"
 #include "opt/plan_printer.h"
 #include "sim/wait_group.h"
+#include "tune/tune.h"
 
 namespace dbsens {
 
@@ -73,7 +74,8 @@ stageCost(const OpProfile &op, const ReplayParams &p, uint64_t mem_share)
 
 Task<void>
 stageWorker(SimRun &run, WaitGroup &wg, double compute_ns,
-            double stall_ns, double dram_bytes)
+            double stall_ns, double dram_bytes, int tenant,
+            double useful_per_ns)
 {
     const double total = compute_ns + stall_ns;
     const double stall_frac = total > 0 ? stall_ns / total : 0;
@@ -85,7 +87,12 @@ stageWorker(SimRun &run, WaitGroup &wg, double compute_ns,
         w.computeNs = slice * (1.0 - stall_frac);
         w.stallNs = slice * stall_frac;
         w.dramBytes = slice * dram_per_ns;
+        w.tenant = tenant;
         co_await run.cpu.consume(w);
+        // Credit nominal progress per morsel so control epochs see a
+        // smooth rate rather than per-query completion spikes.
+        if (useful_per_ns > 0)
+            run.olapUsefulNs += slice * useful_per_ns;
         remaining -= slice;
     }
     wg.done();
@@ -206,6 +213,20 @@ replayQuery(SimRun &run, const QueryProfile &profile, ReplayParams params)
             (c.computeNs + c.stallNs) > 0
                 ? c.dramBytes / (c.computeNs + c.stallNs)
                 : 0.0;
+        // Nominal (spill-free) instruction-ns is the autopilot's
+        // config-invariant progress unit for OLAP-tagged replays,
+        // spread evenly over the stage's actual worker-ns so knob
+        // changes can't manufacture "progress" via their own overhead.
+        const double nominal_ns =
+            op.instructions / (calib::kBaseIpc * calib::kCoreFreqHz) *
+            1e9;
+        const double worker_ns_total = (c.computeNs + c.stallNs) +
+                                       skew_extra +
+                                       startup * double(c.workers);
+        const double useful_per_ns =
+            (params.tenant == kTenantOlap && worker_ns_total > 0)
+                ? nominal_ns / worker_ns_total
+                : 0.0;
         for (int w = 0; w < c.workers; ++w) {
             const double mine =
                 per_worker + (w == 0 ? skew_extra : 0.0) + startup;
@@ -213,7 +234,8 @@ replayQuery(SimRun &run, const QueryProfile &profile, ReplayParams params)
             run.loop.spawn(stageWorker(run, wg,
                                        mine * (1.0 - stall_frac),
                                        mine * stall_frac,
-                                       mine * dram_per_ns));
+                                       mine * dram_per_ns,
+                                       params.tenant, useful_per_ns));
         }
         if (c.ioRead + c.ioWrite > 0) {
             wg.add();

@@ -83,6 +83,11 @@ struct ReplayParams
     int dop = 32;             ///< effective degree of parallelism
     uint64_t grantBytes = 0;  ///< query memory grant
     double missRate = 0.05;   ///< LLC miss rate at this CAT allocation
+    /**
+     * Tenant id for CPU scheduling (tune/tune.h); -1 = untagged.
+     * OLAP-tagged replays also credit SimRun::olapUsefulNs.
+     */
+    int tenant = -1;
 };
 
 /**

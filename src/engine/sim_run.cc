@@ -122,11 +122,41 @@ SimRun::SimRun(Database &db, const RunConfig &cfg)
     stats.gauge("run.instructions_retired",
                 [this] { return instructionsRetired; },
                 "estimated retired instructions");
+    stats.gauge("run.olap_useful_ns", [this] { return olapUsefulNs; },
+                "nominal OLAP instruction-ns completed");
 
     if (auto *tr = TraceRecorder::active())
         tr->beginRun("run cores=" + std::to_string(cfg.cores) +
                      " llcMb=" + std::to_string(cfg.llcMb) +
                      " maxdop=" + std::to_string(cfg.maxdop));
+
+    if (cfg.tune.enabled) {
+        TuneConfig tc = cfg.tune;
+        if (tc.startDelay <= 0)
+            tc.startDelay = cfg.warmup;
+        ResourceTotals totals;
+        totals.cores = cfg.cores;
+        totals.llcMb = cfg.llcMb;
+        totals.maxdop = cfg.maxdop;
+        totals.grantBytes = queryGrantBytes();
+        autopilot = std::make_unique<Autopilot>(loop, tc, totals);
+        Autopilot::Actuators act;
+        act.setCoreLease = [this](int t, uint64_t mask) {
+            cpu.setTenantMask(t, mask);
+        };
+        act.setLlcMask = [this](int cos, uint32_t mask) {
+            llc.setCosWayMask(cos, mask);
+        };
+        act.setGrantCapacity = [this](uint64_t bytes) {
+            grants.setCapacity(bytes);
+        };
+        act.stats = &stats;
+        act.progressStat[kTenantOltp] = "run.txns_committed";
+        act.progressStat[kTenantOlap] = "run.olap_useful_ns";
+        act.running = [this] { return running(); };
+        autopilot->registerStats(stats, "tune");
+        autopilot->start(std::move(act));
+    }
     loop.spawn(checkpointer(*this));
     if (cfg.deadlockPolicy == DeadlockPolicy::Detector)
         loop.spawn(deadlockMonitor(*this, cfg.deadlockCheckInterval));
@@ -184,6 +214,7 @@ SimRun::completeWarmup()
     txnsAborted = 0;
     queriesCompleted = 0;
     instructionsRetired = 0;
+    olapUsefulNs = 0;
     waits.reset();
     llc.resetCounters();
     pool.resetCounters();

@@ -26,6 +26,7 @@
 #include "sim/event_loop.h"
 #include "sim/sampler.h"
 #include "sim/ssd_model.h"
+#include "tune/autopilot.h"
 #include "txn/latch_table.h"
 #include "txn/lock_manager.h"
 #include "txn/wait_stats.h"
@@ -96,6 +97,12 @@ struct RunConfig
     /** Fault-injection regime (disabled ⇒ byte-identical runs). */
     FaultConfig fault;
     /**
+     * Autopilot configuration (disabled ⇒ no Autopilot is built, no
+     * lease/COS mask installed, no epoch event scheduled — runs stay
+     * byte-identical). See src/tune/.
+     */
+    TuneConfig tune;
+    /**
      * First transaction id minus one. The harness advances this across
      * crash phases so a resumed run never reuses an earlier phase's
      * ids — the WAL history and the recovery reconciliation key
@@ -133,6 +140,9 @@ class SimRun
     WaitStats waits;
     /** Fault injector; null unless cfg.fault.enabled. */
     std::unique_ptr<FaultInjector> faults;
+    /** Closed-loop resource controller; null unless cfg.tune.enabled
+     * (sessions consult it for MAXDOP caps and grant budgets). */
+    std::unique_ptr<Autopilot> autopilot;
     /**
      * Unified per-run stats registry: every component above registers
      * gauges here under a dotted prefix (`bufferpool.misses`,
@@ -153,6 +163,13 @@ class SimRun
     uint64_t txnsGivenUp = 0;
     /** Analytical queries shed at the grant gate. */
     uint64_t queriesShed = 0;
+    /**
+     * Nominal (spill- and stall-free) instruction-ns completed by
+     * OLAP-tagged replay morsels. The autopilot's tenant-1 progress
+     * metric: invariant work units, so shrinking a knob can never be
+     * scored as "progress" via its own overhead.
+     */
+    double olapUsefulNs = 0;
 
     /** Allocate a fresh transaction id. */
     TxnId allocTxnId() { return ++txnSeq_; }

@@ -44,6 +44,7 @@ TxnCtx::flushCpu()
     work.stallNs = real_misses * calib::kMissLatencyNs *
                    (1.0 - calib::kMissOverlap);
     work.dramBytes = real_misses * double(kCacheLineSize);
+    work.tenant = kTenantOltp;
     run_.instructionsRetired += pendingInstr_;
     pendingInstr_ = 0;
     co_await run_.cpu.consume(work);
@@ -186,7 +187,7 @@ TxnCtx::updateRow(Database::Table &t, RowId r, const std::string &column,
         run_.pool.markDirty(p);
         // The page modification occupies the latch for a short burst;
         // without simulated hold time latches could never contend.
-        co_await run_.cpu.consume(CpuWork{kLatchHoldNs, 0, 0});
+        co_await run_.cpu.consume(CpuWork{kLatchHoldNs, 0, 0, kTenantOltp});
         latch.release(run_.loop);
     }
     logLsn_ = run_.wal.append(oltpcost::kLogBytesRowUpdate);
@@ -228,7 +229,7 @@ TxnCtx::insertRow(Database::Table &t, const std::vector<Value> &row)
         co_await run_.locks.acquire(id_, t.id, r, LockMode::X, nullptr);
     }
     // Slot allocation + row copy occupy the latch (see updateRow).
-    co_await run_.cpu.consume(CpuWork{kLatchHoldNs, 0, 0});
+    co_await run_.cpu.consume(CpuWork{kLatchHoldNs, 0, 0, kTenantOltp});
     latch.release(run_.loop);
 
     touchRow(t, r);

@@ -37,7 +37,7 @@ runOltpOn(OltpWorkload &workload, Database &db, RunConfig cfg)
 
     OltpRunResult res;
     uint64_t committed = 0, queries = 0;
-    double sampled_misses = 0, instr = 0;
+    double sampled_misses = 0, instr = 0, olap_useful = 0;
     RunConfig phase_cfg = cfg;
 
     // Phase loop: normally one pass. With an injected crash, the
@@ -75,6 +75,9 @@ runOltpOn(OltpWorkload &workload, Database &db, RunConfig cfg)
             res.waits.merge(run.waits);
             sampled_misses += double(run.feed.misses() - miss_base);
             instr += run.instructionsRetired;
+            olap_useful += run.olapUsefulNs;
+            if (run.autopilot)
+                res.tune = run.autopilot->result();
             if (run.sampler.hasSeries("ssd_read_Bps"))
                 appendSeries(res.ssdRead,
                              run.sampler.series("ssd_read_Bps"));
@@ -159,6 +162,9 @@ runOltpOn(OltpWorkload &workload, Database &db, RunConfig cfg)
     res.avgSsdReadBps = res.ssdRead.mean();
     res.avgSsdWriteBps = res.ssdWrite.mean();
     res.avgDramBps = res.dram.mean();
+    // Nominal instruction-ns per wall second, expressed in seconds so
+    // the number stays O(parallelism) rather than O(1e9).
+    res.olapUsefulPerSec = olap_useful / 1e9 / secs;
     return res;
 }
 

@@ -15,6 +15,7 @@
 
 #include <memory>
 
+#include "tune/tune.h"
 #include "workloads/workload.h"
 
 namespace dbsens {
@@ -48,6 +49,13 @@ struct OltpRunResult
     double recoveryMs = 0;
     /** Fault/recovery counters merged across crash phases. */
     FaultCounters fault;
+    /**
+     * Nominal OLAP instruction-seconds completed per second (the
+     * autopilot's tenant-1 progress rate; 0 for pure-OLTP runs).
+     */
+    double olapUsefulPerSec = 0;
+    /** Autopilot summary (enabled=false when the run had none). */
+    TuneResult tune;
 };
 
 /** Default OLTP run length (simulated; steady-state window). */

@@ -122,14 +122,15 @@ TpchDriver::streamSession(SimRun &run, int maxdop, double miss_rate,
             // lifetime (large grants bound stream concurrency). A
             // shed waiter (grant-queue timeout under fault regimes)
             // skips the query instead of blocking the stream.
-            const bool granted =
-                co_await run.grants.acquire(params.grantBytes);
+            uint64_t granted_bytes = 0;
+            const bool granted = co_await run.grants.acquire(
+                params.grantBytes, &granted_bytes);
             if (!granted) {
                 ++run.queriesShed;
                 continue;
             }
             co_await replayQuery(run, pq.profile, params);
-            run.grants.release(params.grantBytes);
+            run.grants.release(granted_bytes);
         }
     }
 }

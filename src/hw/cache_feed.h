@@ -61,17 +61,24 @@ socketOfAddr(uint64_t addr)
     return int((addr >> 12) & 1);
 }
 
-/** Feed that drives an LlcSim as accesses arrive. */
+/**
+ * Feed that drives an LlcSim as accesses arrive. `cos` selects the
+ * CAT class of service charged for fills (0 unless a multi-tenant
+ * partition is active — see src/tune/).
+ */
 class LiveCacheFeed : public CacheFeed
 {
   public:
-    explicit LiveCacheFeed(LlcSim &llc) : llc_(llc) {}
+    explicit LiveCacheFeed(LlcSim &llc, int cos = 0)
+        : llc_(llc), cos_(cos)
+    {
+    }
 
     void
     touch(uint64_t addr) override
     {
         ++accesses_;
-        if (!llc_.access(socketOfAddr(addr), addr))
+        if (!llc_.access(socketOfAddr(addr), addr, cos_))
             ++misses_;
     }
 
@@ -80,6 +87,7 @@ class LiveCacheFeed : public CacheFeed
 
   private:
     LlcSim &llc_;
+    int cos_ = 0;
     uint64_t accesses_ = 0;
     uint64_t misses_ = 0;
 };

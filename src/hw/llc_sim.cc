@@ -13,11 +13,21 @@ LlcSim::LlcSim()
 void
 LlcSim::setWayMask(uint32_t mask)
 {
+    for (int cos = 0; cos < kMaxCos; ++cos)
+        setCosWayMask(cos, mask);
+}
+
+void
+LlcSim::setCosWayMask(int cos, uint32_t mask)
+{
+    if (cos < 0 || cos >= kMaxCos)
+        fatal("COS id must be in [0, " + std::to_string(kMaxCos) +
+              "), got " + std::to_string(cos));
     mask &= (1u << kWays) - 1;
     if (mask == 0)
         fatal("CAT way mask must allow at least one way");
-    mask_ = mask;
-    allowedWays_ = __builtin_popcount(mask);
+    cosMask_[cos] = mask;
+    allowedWays_[cos] = __builtin_popcount(mask);
 }
 
 void
@@ -31,7 +41,7 @@ LlcSim::setTotalAllocationMb(int mb)
 }
 
 bool
-LlcSim::access(int socket, uint64_t addr)
+LlcSim::access(int socket, uint64_t addr, int cos)
 {
     ++accesses_;
     ++clock_;
@@ -50,13 +60,14 @@ LlcSim::access(int socket, uint64_t addr)
         }
     }
 
-    // Miss: fill into the oldest allowed way. New lines enter with an
-    // aged timestamp (scan resistance; see kInsertAge).
+    // Miss: fill into the oldest way allowed for this COS. New lines
+    // enter with an aged timestamp (scan resistance; see kInsertAge).
     ++misses_;
+    const uint32_t mask = cosMask_[cos & (kMaxCos - 1)];
     int victim = -1;
     int64_t oldest = INT64_MAX;
     for (int w = 0; w < kWays; ++w) {
-        if (!(mask_ & (1u << w)))
+        if (!(mask & (1u << w)))
             continue;
         if (base[w].lastUse < oldest) {
             oldest = base[w].lastUse;

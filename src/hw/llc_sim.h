@@ -28,30 +28,46 @@ class LlcSim
   public:
     LlcSim();
 
+    /** Classes of service (CAT COS) with independent way masks. */
+    static constexpr int kMaxCos = 2;
+
     /**
-     * Set the COS way mask applied on both sockets. Bit i allows way
-     * i. The paper grows allocations as supersets: 0x1 for 1 way/socket
-     * (2 MB total), 0x3 for 2 ways (4 MB), ...
+     * Set the way mask of every COS at once, applied on both sockets.
+     * Bit i allows way i. The paper grows allocations as supersets:
+     * 0x1 for 1 way/socket (2 MB total), 0x3 for 2 ways (4 MB), ...
+     * This is the single-COS mode every sweep uses.
      */
     void setWayMask(uint32_t mask);
 
     /**
+     * Multi-tenant partitioning: set one COS's way mask (both
+     * sockets) without touching the others. The autopilot assigns
+     * disjoint masks per tenant mid-run; lines already resident in
+     * ways a COS lost stay readable (CAT restricts allocation, not
+     * lookup) and age out naturally.
+     */
+    void setCosWayMask(int cos, uint32_t mask);
+
+    /**
      * Convenience: set a total allocation in MB across both sockets
      * (even values 2..40); allocates mb/2 ways per socket as a
-     * contiguous low mask.
+     * contiguous low mask (all COS).
      */
     void setTotalAllocationMb(int mb);
 
-    uint32_t wayMask() const { return mask_; }
+    uint32_t wayMask() const { return cosMask_[0]; }
 
-    /** Number of ways allowed per socket under the current mask. */
-    int allowedWays() const { return allowedWays_; }
+    uint32_t cosWayMask(int cos) const { return cosMask_[cos]; }
+
+    /** Number of ways allowed per socket for one COS. */
+    int allowedWays(int cos = 0) const { return allowedWays_[cos]; }
 
     /**
-     * Simulate one line access on a socket. Returns true on hit.
-     * Misses allocate into the LRU way among the allowed ways.
+     * Simulate one line access on a socket under a COS. Returns true
+     * on hit. Misses allocate into the LRU way among the COS's
+     * allowed ways.
      */
-    bool access(int socket, uint64_t addr);
+    bool access(int socket, uint64_t addr, int cos = 0);
 
     /** Flush all contents (the paper reboots between sweeps). */
     void reset();
@@ -90,8 +106,8 @@ class LlcSim
     };
 
     SocketCache sockets_[calib::kSockets];
-    uint32_t mask_ = (1u << kWays) - 1;
-    int allowedWays_ = kWays;
+    uint32_t cosMask_[kMaxCos] = {(1u << kWays) - 1, (1u << kWays) - 1};
+    int allowedWays_[kMaxCos] = {kWays, kWays};
     uint64_t clock_ = 0;
     uint64_t accesses_ = 0;
     uint64_t misses_ = 0;

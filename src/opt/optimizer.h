@@ -33,6 +33,14 @@ struct OptimizerConfig
     int maxdop = 32;
 
     /**
+     * Per-tenant DOP ceiling imposed by the autopilot (src/tune) on
+     * top of the server-wide maxdop. 0 means uncapped; nonzero caps
+     * are applied at construction so every plan choice — serial
+     * threshold included — sees the effective DOP.
+     */
+    int maxdopCap = 0;
+
+    /**
      * Total-cost threshold (arbitrary cost units) below which a
      * serial plan is chosen. Calibrated so scaled SF=10/30 short
      * queries go serial, as in the paper.
@@ -48,6 +56,10 @@ class Optimizer
                        OptimizerConfig cfg = {})
         : resolver_(resolver), cfg_(cfg)
     {
+        if (cfg_.maxdopCap > 0 && cfg_.maxdopCap < cfg_.maxdop)
+            cfg_.maxdop = cfg_.maxdopCap;
+        if (cfg_.maxdop < 1)
+            cfg_.maxdop = 1;
     }
 
     /**

@@ -25,12 +25,15 @@ socketOfIndex(int core)
 class CoreAcquire
 {
   public:
-    explicit CoreAcquire(CoreScheduler &s) : sched(s) {}
+    CoreAcquire(CoreScheduler &s, int tenant) : sched(s)
+    {
+        waiter.tenant = tenant;
+    }
 
     bool
     await_ready()
     {
-        const int core = sched.pickFreeCore();
+        const int core = sched.pickFreeCoreFor(waiter.tenant);
         if (core >= 0) {
             sched.cores_[core].busy = true;
             ++sched.busyCount_;
@@ -106,6 +109,94 @@ CoreScheduler::pickFreeCore() const
     return fallback;
 }
 
+void
+CoreScheduler::setTenantMask(int tenant, uint64_t mask)
+{
+    if (tenant < 0 || tenant >= kMaxTenants)
+        fatal("tenant id must be in [0, " +
+              std::to_string(kMaxTenants) + "), got " +
+              std::to_string(tenant));
+    tenantMask_[tenant] = mask;
+    haveLeases_ = false;
+    for (int t = 0; t < kMaxTenants; ++t)
+        haveLeases_ = haveLeases_ || tenantMask_[t] != 0;
+    // A repartition can hand free cores to a queued tenant.
+    pumpWaiters();
+}
+
+void
+CoreScheduler::clearTenantMasks()
+{
+    for (int t = 0; t < kMaxTenants; ++t)
+        tenantMask_[t] = 0;
+    haveLeases_ = false;
+    pumpWaiters();
+}
+
+uint64_t
+CoreScheduler::tenantMask(int tenant) const
+{
+    return tenant >= 0 && tenant < kMaxTenants ? tenantMask_[tenant]
+                                               : 0;
+}
+
+double
+CoreScheduler::tenantBusyNs(int tenant) const
+{
+    return tenant >= 0 && tenant < kMaxTenants ? tenantBusyNs_[tenant]
+                                               : 0;
+}
+
+int
+CoreScheduler::pickFreeCoreFor(int tenant) const
+{
+    if (tenant < 0 || tenant >= kMaxTenants ||
+        tenantMask_[tenant] == 0)
+        return pickFreeCore();
+    const uint64_t mask = tenantMask_[tenant];
+
+    // Hardware-islands placement ("OLTP on Hardware Islands"): keep
+    // the tenant on the socket it already occupies, filling that
+    // socket's physical cores, then its SMT threads, before crossing
+    // sockets. Preferred socket = most busy leased cores there, then
+    // most leased cores, then socket 0.
+    int busy[2] = {0, 0};
+    int leased[2] = {0, 0};
+    for (int c = 0; c < int(cores_.size()); ++c) {
+        if (!(mask >> c & 1))
+            continue;
+        ++leased[socketOf(c)];
+        if (cores_[c].busy)
+            ++busy[socketOf(c)];
+    }
+    int pref = 0;
+    if (busy[0] != busy[1])
+        pref = busy[0] > busy[1] ? 0 : 1;
+    else if (leased[0] != leased[1])
+        pref = leased[0] > leased[1] ? 0 : 1;
+
+    int best = -1;
+    int best_rank = 4;
+    for (int c = 0; c < allowed_; ++c) {
+        if (!(mask >> c & 1) || cores_[c].busy)
+            continue;
+        const int sib = siblingOf(c);
+        const bool sib_busy =
+            sib < int(cores_.size()) && cores_[sib].busy;
+        // 0: preferred socket, idle sibling   (physical core)
+        // 1: preferred socket, busy sibling   (SMT thread)
+        // 2: other socket, idle sibling       (cross-socket)
+        // 3: other socket, busy sibling
+        const int rank =
+            (socketOf(c) == pref ? 0 : 2) + (sib_busy ? 1 : 0);
+        if (rank < best_rank) {
+            best_rank = rank;
+            best = c;
+        }
+    }
+    return best;
+}
+
 double
 CoreScheduler::burstDurationNs(int core, const CpuWork &work) const
 {
@@ -132,11 +223,15 @@ CoreScheduler::burstDurationNs(int core, const CpuWork &work) const
 Task<void>
 CoreScheduler::consume(CpuWork work)
 {
-    const int core = co_await CoreAcquire(*this);
+    const int core = co_await CoreAcquire(*this, work.tenant);
+    lastGrantedCore_ = core;
     cores_[core].stallFraction = work.stallFraction();
     const double dur = burstDurationNs(core, work);
     busyNs_ += dur;
     cores_[core].busyNs += dur;
+    socketBusyNs_[socketOf(core)] += dur;
+    if (work.tenant >= 0 && work.tenant < kMaxTenants)
+        tenantBusyNs_[work.tenant] += dur;
     workNs_ += work.totalNs();
     if (dram_ && work.dramBytes > 0)
         dram_->charge(socketOf(core), work.dramBytes);
@@ -149,17 +244,33 @@ CoreScheduler::releaseCore(int core)
 {
     cores_[core].busy = false;
     --busyCount_;
-    if (waiters_.empty())
-        return;
-    const int next = pickFreeCore();
-    if (next < 0)
-        return;
-    Waiter *w = waiters_.front();
-    waiters_.pop_front();
-    cores_[next].busy = true;
-    ++busyCount_;
-    w->grantedCore = next;
-    loop_.post(w->handle);
+    pumpWaiters();
+}
+
+void
+CoreScheduler::pumpWaiters()
+{
+    // FIFO grant loop. Without leases at most the front waiter can be
+    // granted (a session only queues when no allowed core is free, so
+    // a single release frees a single core) — identical to the
+    // historical one-grant-per-release path. With leases a waiter
+    // whose lease is fully busy must not block later waiters whose
+    // lease has room, so the scan continues past it.
+    for (auto it = waiters_.begin(); it != waiters_.end();) {
+        Waiter *w = *it;
+        const int core = pickFreeCoreFor(w->tenant);
+        if (core < 0) {
+            if (!haveLeases_)
+                return; // shared pool exhausted: nobody later fits
+            ++it;
+            continue;
+        }
+        cores_[core].busy = true;
+        ++busyCount_;
+        w->grantedCore = core;
+        it = waiters_.erase(it);
+        loop_.post(w->handle);
+    }
 }
 
 } // namespace dbsens

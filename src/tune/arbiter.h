@@ -1,0 +1,93 @@
+/**
+ * @file
+ * ResourceArbiter: the pure resource-splitting logic of the autopilot.
+ *
+ * Translates a KnobState (per-tenant shares of cores / LLC / MAXDOP /
+ * grant budget) into concrete hardware assignments:
+ *
+ *  - cores: disjoint SMT- and socket-aware "island" masks. Each
+ *    tenant anchors at an opposite socket and grows in allocation
+ *    order — physical cores first, then that socket's SMT threads,
+ *    then across the socket boundary ("OLTP on Hardware Islands").
+ *  - LLC: disjoint contiguous CAT way masks per COS, tenant 0 from
+ *    the low ways, tenant 1 from the high ways.
+ *  - MAXDOP / grant budget: numeric caps consulted by the optimizer
+ *    and the grant gate.
+ *
+ * It also enumerates the feasible elementary moves from a state (the
+ * probe set for hill-climbing) and applies/validates them. Everything
+ * here is deterministic and side-effect free; the Autopilot owns
+ * actuation.
+ */
+
+#ifndef DBSENS_TUNE_ARBITER_H
+#define DBSENS_TUNE_ARBITER_H
+
+#include <vector>
+
+#include "tune/tune.h"
+
+namespace dbsens {
+
+/** Splits machine resources across tenants; proposes/applies moves. */
+class ResourceArbiter
+{
+  public:
+    explicit ResourceArbiter(const ResourceTotals &totals);
+
+    const ResourceTotals &totals() const { return totals_; }
+
+    /** The naive baseline: every resource split evenly. */
+    KnobState evenSplit() const;
+
+    /** Force a state into the feasible region (deterministically). */
+    KnobState clamp(KnobState s) const;
+
+    /** Disjoint logical-core lease mask for one tenant. */
+    uint64_t coreMask(const KnobState &s, int tenant) const;
+
+    /** Disjoint per-socket CAT way mask for one tenant's COS. */
+    uint32_t llcWayMask(const KnobState &s, int tenant) const;
+
+    /**
+     * The elementary moves feasible from `s`, in a fixed
+     * deterministic order (the probe perturbation set).
+     */
+    std::vector<TuneMove> moves(const KnobState &s) const;
+
+    /**
+     * Apply a move in place. Returns false (state untouched) when the
+     * move would leave the feasible region or changes nothing.
+     */
+    bool apply(KnobState &s, const TuneMove &m) const;
+
+    /** Copy-apply: returns `s` unchanged if the move is infeasible. */
+    KnobState
+    applied(const KnobState &s, const TuneMove &m) const
+    {
+        KnobState out = s;
+        apply(out, m);
+        return out;
+    }
+
+    /** Smallest share any tenant may hold. */
+    static constexpr int kMinCores = 2;
+    static constexpr int kMinLlcMb = 4; ///< 2 ways per socket
+
+    uint64_t
+    minGrantBytes() const
+    {
+        const uint64_t floor_bytes = 1ull << 20;
+        const uint64_t frac = totals_.grantBytes / 16;
+        return frac > floor_bytes ? frac : floor_bytes;
+    }
+
+  private:
+    bool valid(const KnobState &s) const;
+
+    ResourceTotals totals_;
+};
+
+} // namespace dbsens
+
+#endif // DBSENS_TUNE_ARBITER_H

@@ -1,0 +1,163 @@
+#include "tune/policy.h"
+
+#include <cmath>
+
+namespace dbsens {
+
+namespace {
+
+/** Smoothing for the baseline score estimate. The window is short
+ * (epochs are milliseconds), so weight recent epochs heavily. */
+constexpr double kEwmaAlpha = 0.5;
+
+} // namespace
+
+ProbeAndShiftPolicy::ProbeAndShiftPolicy(const ResourceArbiter &arb,
+                                         const TuneConfig &cfg,
+                                         KnobState base)
+    : arb_(arb), cfg_(cfg), base_(arb.clamp(base))
+{
+}
+
+void
+ProbeAndShiftPolicy::blendEwma(double score)
+{
+    ewma_ = haveEwma_ ? kEwmaAlpha * score + (1.0 - kEwmaAlpha) * ewma_
+                      : score;
+    haveEwma_ = true;
+}
+
+KnobState
+ProbeAndShiftPolicy::startProbe()
+{
+    cycleShifts_ = 0;
+    // A cooling-down move was just measured (and rolled back); spend
+    // no probe epoch re-measuring it.
+    std::vector<TuneMove> moves;
+    for (const TuneMove &mv : arb_.moves(base_)) {
+        auto cd = cooldown_.find(mv.name());
+        if (cd != cooldown_.end() && cd->second > 0)
+            continue;
+        moves.push_back(mv);
+    }
+    probe_.begin(std::move(moves));
+    if (const TuneMove *mv = probe_.current()) {
+        mode_ = Mode::Probe;
+        label_ = "probe:" + mv->name();
+        return arb_.applied(base_, *mv);
+    }
+    mode_ = Mode::Hold;
+    holdEpochs_ = 0;
+    label_ = "hold";
+    return base_;
+}
+
+KnobState
+ProbeAndShiftPolicy::startShift()
+{
+    // Trial only the moves whose probe delta cleared the hysteresis
+    // margin: a merely-positive delta is indistinguishable from epoch
+    // noise, and trialing it risks committing a backward move on a
+    // second noise spike.
+    const double margin = std::abs(ewma_) * cfg_.hysteresis;
+    candidates_.clear();
+    for (const ProbeResult &r : probe_.ranked())
+        if (r.delta > margin)
+            candidates_.push_back(r);
+    cand_ = 0;
+    return nextCandidateOrHold();
+}
+
+KnobState
+ProbeAndShiftPolicy::nextCandidateOrHold()
+{
+    while (cand_ < candidates_.size()) {
+        const TuneMove &mv = candidates_[cand_++].move;
+        auto cd = cooldown_.find(mv.name());
+        if (cd != cooldown_.end() && cd->second > 0)
+            continue;
+        KnobState s = base_;
+        if (!arb_.apply(s, mv))
+            continue;
+        trialMove_ = mv;
+        trialState_ = s;
+        mode_ = Mode::Trial;
+        label_ = "trial:" + mv.name();
+        return s;
+    }
+    mode_ = Mode::Hold;
+    holdEpochs_ = 0;
+    // Converged (nothing committed this cycle): back off the next
+    // probe exponentially. Any commit resets to the fast cadence.
+    holdLimit_ = cycleShifts_ > 0
+                     ? kReprobeHoldEpochs
+                     : std::min(holdLimit_ * 2, kMaxHoldEpochs);
+    label_ = "hold";
+    return base_;
+}
+
+KnobState
+ProbeAndShiftPolicy::onEpoch(const EpochMetrics &m)
+{
+    for (auto &kv : cooldown_)
+        if (kv.second > 0)
+            --kv.second;
+
+    switch (mode_) {
+      case Mode::Baseline:
+        if (!m.baselineDone) {
+            label_ = "baseline";
+            return base_;
+        }
+        blendEwma(m.score);
+        return startProbe();
+
+      case Mode::Probe:
+        // m scored the probe epoch of probe_.current().
+        ++probes_;
+        probe_.record(m.score - ewma_);
+        if (const TuneMove *mv = probe_.current()) {
+            label_ = "probe:" + mv->name();
+            return arb_.applied(base_, *mv);
+        }
+        return startShift();
+
+      case Mode::Trial: {
+        // Guardrail: commit only when the trial epoch clears the
+        // hysteresis margin over the smoothed baseline; otherwise
+        // roll back and cool the move down.
+        const double margin = std::abs(ewma_) * cfg_.hysteresis;
+        if (m.score > ewma_ + margin) {
+            ++shifts_;
+            ++cycleShifts_;
+            base_ = trialState_;
+            // Re-level the baseline toward the new state. Blending
+            // (not assignment) keeps an outlier-high trial epoch from
+            // setting a bar the state's true score can never clear.
+            blendEwma(m.score);
+            // A shift that paid usually pays again: keep pushing the
+            // same direction until it stops clearing the margin.
+            KnobState again = base_;
+            if (arb_.apply(again, trialMove_)) {
+                trialState_ = again;
+                label_ = "trial:" + trialMove_.name();
+                return again;
+            }
+        } else {
+            ++rollbacks_;
+            cooldown_[trialMove_.name()] = cfg_.cooldownEpochs;
+        }
+        return nextCandidateOrHold();
+      }
+
+      case Mode::Hold:
+        blendEwma(m.score);
+        if (++holdEpochs_ >= holdLimit_)
+            return startProbe();
+        label_ = "hold";
+        return base_;
+    }
+    return base_;
+}
+
+} // namespace dbsens

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * TuningPolicy: the decision layer of the autopilot, decoupled from
+ * measurement (Autopilot) and resource math (ResourceArbiter) so
+ * policies are directly comparable in one bench:
+ *
+ *  - StaticPolicy: hold a fixed KnobState (the naive even split, or
+ *    any chosen configuration).
+ *  - OraclePolicy: StaticPolicy holding the best state found by an
+ *    offline exhaustive sweep — the upper bound the closed loop is
+ *    judged against (bench_fig10_autopilot).
+ *  - ProbeAndShiftPolicy: sensitivity probing (one knob at a time)
+ *    followed by guardrailed hill-climbing — trial shifts commit only
+ *    when the score clears a hysteresis margin, roll back otherwise,
+ *    and rolled-back moves cool down before being retried.
+ *
+ * Policies are called once per control epoch with the metrics of the
+ * epoch that just ended and return the state to run next. They are
+ * pure state machines: deterministic given the metric sequence.
+ */
+
+#ifndef DBSENS_TUNE_POLICY_H
+#define DBSENS_TUNE_POLICY_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tune/arbiter.h"
+#include "tune/probe.h"
+#include "tune/tune.h"
+
+namespace dbsens {
+
+/** What the Autopilot measured over one control epoch. */
+struct EpochMetrics
+{
+    int epoch = 0; ///< 1-based epoch index
+    /** Per-tenant progress per second over the epoch. */
+    double rate[kNumTenants] = {0, 0};
+    /** Weighted score (meaningless until baselineDone). */
+    double score = 0;
+    /** True once the baseline window has fixed the score weights. */
+    bool baselineDone = false;
+};
+
+/** Per-epoch decision interface. */
+class TuningPolicy
+{
+  public:
+    virtual ~TuningPolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Decide the knob state for the next epoch, given the metrics of
+     * the epoch that just ended.
+     */
+    virtual KnobState onEpoch(const EpochMetrics &m) = 0;
+
+    /**
+     * Label describing the epoch the last onEpoch()/initialState()
+     * call set up ("baseline", "probe:cores0>1x2", "trial:...",
+     * "hold") — the Autopilot stamps it on the epoch's trace span.
+     */
+    virtual const std::string &phaseLabel() const = 0;
+
+    virtual KnobState initialState() const = 0;
+
+    // Activity counters (zero for static policies).
+    virtual int probes() const { return 0; }
+    virtual int shifts() const { return 0; }
+    virtual int rollbacks() const { return 0; }
+};
+
+/** Hold one fixed state forever. */
+class StaticPolicy : public TuningPolicy
+{
+  public:
+    explicit StaticPolicy(KnobState s, const char *name = "static")
+        : state_(s), name_(name)
+    {
+    }
+
+    const char *name() const override { return name_; }
+    KnobState onEpoch(const EpochMetrics &) override { return state_; }
+    const std::string &phaseLabel() const override { return label_; }
+    KnobState initialState() const override { return state_; }
+
+  private:
+    KnobState state_;
+    const char *name_;
+    std::string label_ = "static";
+};
+
+/** StaticPolicy holding an offline-sweep optimum. */
+class OraclePolicy : public StaticPolicy
+{
+  public:
+    explicit OraclePolicy(KnobState s) : StaticPolicy(s, "oracle") {}
+};
+
+/** Probe sensitivities, then guardrailed hill-climbing. */
+class ProbeAndShiftPolicy : public TuningPolicy
+{
+  public:
+    ProbeAndShiftPolicy(const ResourceArbiter &arb,
+                        const TuneConfig &cfg, KnobState base);
+
+    const char *name() const override { return "probe-and-shift"; }
+    KnobState onEpoch(const EpochMetrics &m) override;
+    const std::string &phaseLabel() const override { return label_; }
+    KnobState initialState() const override { return base_; }
+
+    int probes() const override { return probes_; }
+    int shifts() const override { return shifts_; }
+    int rollbacks() const override { return rollbacks_; }
+
+    /** Probe results of the most recent probing pass (reporting). */
+    const SensitivityProbe &probe() const { return probe_; }
+
+    /** Epochs spent holding before sensitivities are re-probed. A
+     * probe pass costs one epoch per feasible move, so re-probing
+     * often keeps the climb going on short runs while the hold still
+     * damps oscillation. The hold doubles (up to the cap) after each
+     * probe cycle that commits nothing: once converged, the policy
+     * stops paying the perturbation cost of fruitless probing. */
+    static constexpr int kReprobeHoldEpochs = 6;
+    static constexpr int kMaxHoldEpochs = 48;
+
+  private:
+    enum class Mode { Baseline, Probe, Trial, Hold };
+
+    KnobState startProbe();
+    KnobState startShift();
+    KnobState nextCandidateOrHold();
+    void blendEwma(double score);
+
+    const ResourceArbiter &arb_;
+    TuneConfig cfg_;
+    KnobState base_;
+    SensitivityProbe probe_;
+    Mode mode_ = Mode::Baseline;
+    double ewma_ = 0;
+    bool haveEwma_ = false;
+    std::vector<ProbeResult> candidates_;
+    size_t cand_ = 0;
+    TuneMove trialMove_;
+    KnobState trialState_;
+    std::map<std::string, int> cooldown_;
+    int holdEpochs_ = 0;
+    int holdLimit_ = kReprobeHoldEpochs;
+    int cycleShifts_ = 0; ///< commits since the last startProbe()
+    int probes_ = 0;
+    int shifts_ = 0;
+    int rollbacks_ = 0;
+    std::string label_ = "baseline";
+};
+
+} // namespace dbsens
+
+#endif // DBSENS_TUNE_POLICY_H

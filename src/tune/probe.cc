@@ -1,0 +1,49 @@
+#include "tune/probe.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace dbsens {
+
+void
+SensitivityProbe::begin(std::vector<TuneMove> moves)
+{
+    results_.clear();
+    results_.reserve(moves.size());
+    for (TuneMove &m : moves)
+        results_.push_back(ProbeResult{m, 0, false});
+    next_ = 0;
+}
+
+const TuneMove *
+SensitivityProbe::current() const
+{
+    return next_ < results_.size() ? &results_[next_].move : nullptr;
+}
+
+void
+SensitivityProbe::record(double delta)
+{
+    if (next_ >= results_.size())
+        panic("SensitivityProbe::record past the end of the pass");
+    results_[next_].delta = delta;
+    results_[next_].measured = true;
+    ++next_;
+}
+
+std::vector<ProbeResult>
+SensitivityProbe::ranked() const
+{
+    std::vector<ProbeResult> out;
+    for (const ProbeResult &r : results_)
+        if (r.measured)
+            out.push_back(r);
+    std::stable_sort(out.begin(), out.end(),
+                     [](const ProbeResult &a, const ProbeResult &b) {
+                         return a.delta > b.delta;
+                     });
+    return out;
+}
+
+} // namespace dbsens

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * SensitivityProbe: bookkeeping for the autopilot's probing phase.
+ *
+ * The probe runs one short micro-epoch per elementary knob move (one
+ * knob perturbed at a time — the online analogue of the paper's
+ * offline single-knob sweeps), records the observed score delta for
+ * each, and ranks the moves. The deltas come from the run's
+ * StatsRegistry: each epoch the Autopilot reads the per-tenant
+ * progress stats, forms the weighted score, and records
+ * score − baseline for the move that was active.
+ *
+ * The probe itself is pure bookkeeping — scheduling, measurement, and
+ * actuation live in Autopilot/ProbeAndShiftPolicy — which keeps it
+ * trivially deterministic and unit-testable.
+ */
+
+#ifndef DBSENS_TUNE_PROBE_H
+#define DBSENS_TUNE_PROBE_H
+
+#include <vector>
+
+#include "tune/tune.h"
+
+namespace dbsens {
+
+/** One probed move and its measured score delta. */
+struct ProbeResult
+{
+    TuneMove move;
+    double delta = 0;
+    bool measured = false;
+};
+
+/** Sequences micro-epochs over a move set and ranks the outcomes. */
+class SensitivityProbe
+{
+  public:
+    /** Start a probing pass over `moves` (clears prior results). */
+    void begin(std::vector<TuneMove> moves);
+
+    /** The move to perturb next, or nullptr when the pass is done. */
+    const TuneMove *current() const;
+
+    /** Record the measured delta for current() and advance. */
+    void record(double delta);
+
+    bool done() const { return next_ >= results_.size(); }
+
+    /** Results so far, in probe order. */
+    const std::vector<ProbeResult> &results() const { return results_; }
+
+    /**
+     * Measured results sorted by delta, best first. The sort is
+     * stable, so equal deltas keep probe order (determinism).
+     */
+    std::vector<ProbeResult> ranked() const;
+
+  private:
+    std::vector<ProbeResult> results_;
+    size_t next_ = 0;
+};
+
+} // namespace dbsens
+
+#endif // DBSENS_TUNE_PROBE_H

@@ -1,0 +1,26 @@
+#include "tune/tune.h"
+
+namespace dbsens {
+
+std::string
+TuneMove::name() const
+{
+    const std::string ft = std::to_string(from);
+    const std::string tt = std::to_string(to);
+    const std::string st = std::to_string(step);
+    switch (kind) {
+      case Kind::ShiftCores:
+        return "cores" + ft + ">" + tt + "x" + st;
+      case Kind::ShiftLlc:
+        return "llc" + ft + ">" + tt + "x" + st;
+      case Kind::ShiftGrant:
+        return "grant" + ft + ">" + tt + "x" + st;
+      case Kind::MaxdopUp:
+        return "dop" + tt + "+" + st;
+      case Kind::MaxdopDown:
+        return "dop" + tt + "-" + st;
+    }
+    return "?";
+}
+
+} // namespace dbsens

@@ -68,7 +68,10 @@ HtapWorkload::analyticalSession(SimRun &run, Database &db)
     // Own feed over the *shared* LLC: analytics and OLTP contend for
     // cache space, but the DSS touches must not land in transactions'
     // miss windows (they are replayed as DSS stall time instead).
-    LiveCacheFeed dss_feed(run.llc);
+    // Under the autopilot the feed carries the OLAP COS id, so its
+    // fills obey the tenant's current way mask.
+    LiveCacheFeed dss_feed(run.llc,
+                           run.autopilot ? kTenantOlap : 0);
     while (run.running()) {
         for (int q = 0; q < kAnalyticalQueries && run.running(); ++q) {
             auto plan = analyticalQuery(q);
@@ -80,15 +83,47 @@ HtapWorkload::analyticalSession(SimRun &run, Database &db)
             OptimizerConfig cfg;
             cfg.maxdop = std::min(run.config().maxdop,
                                   run.config().cores);
+            if (run.autopilot) {
+                // Per-tenant MAXDOP cap at plan choice: the optimizer
+                // sees the capped DOP, so serial-threshold and join
+                // decisions adapt to the current lease.
+                cfg.maxdopCap = run.autopilot->maxdopCap(kTenantOlap);
+            }
             const auto pq =
                 profileQuery(db, *plan, cfg, &run.pool, &dss_feed);
             const uint64_t da = dss_feed.accesses() - a0;
             const uint64_t dm = dss_feed.misses() - m0;
             ReplayParams params;
-            params.dop = pq.parallelPlan ? cfg.maxdop : 1;
+            params.dop = pq.parallelPlan
+                             ? std::min(cfg.maxdop,
+                                        cfg.maxdopCap > 0
+                                            ? cfg.maxdopCap
+                                            : cfg.maxdop)
+                             : 1;
             params.grantBytes = run.queryGrantBytes();
             params.missRate = da ? double(dm) / double(da) : 0.05;
-            co_await replayQuery(run, pq.profile, params);
+            params.tenant = kTenantOlap;
+            if (run.autopilot) {
+                // The autopilot resizes the grant gate; admission
+                // control bounds in-flight query memory against the
+                // tenant's current budget. `granted` records the
+                // exact reservation (possibly re-clamped below the
+                // request by a shrink while queued) so release never
+                // underflows — and the query replays with the memory
+                // it actually got, spilling if the budget shrank.
+                uint64_t granted = 0;
+                const bool ok = co_await run.grants.acquire(
+                    params.grantBytes, &granted);
+                if (!ok) {
+                    ++run.queriesShed;
+                    continue;
+                }
+                params.grantBytes = granted;
+                co_await replayQuery(run, pq.profile, params);
+                run.grants.release(granted);
+            } else {
+                co_await replayQuery(run, pq.profile, params);
+            }
         }
     }
 }

@@ -71,6 +71,72 @@ TEST(GrantGate, OversizedRequestClampsToCapacity)
     EXPECT_EQ(gate.freeBytes(), 100u);
 }
 
+TEST(GrantGate, ShrinkBelowOutstandingDoesNotDeadlock)
+{
+    EventLoop loop;
+    GrantGate gate(loop, 100);
+    uint64_t granted_a = 0, granted_b = 0;
+    bool b_admitted = false, b_done = false;
+
+    auto holder = [&]() -> Task<void> {
+        co_await gate.acquire(80, &granted_a);
+        co_await SimDelay(loop, 100);
+        gate.release(granted_a);
+    };
+    auto waiter = [&]() -> Task<void> {
+        co_await SimDelay(loop, 1);
+        const bool ok = co_await gate.acquire(90, &granted_b);
+        b_admitted = ok;
+        co_await SimDelay(loop, 10);
+        gate.release(granted_b);
+        b_done = true;
+    };
+    loop.spawn(holder());
+    loop.spawn(waiter());
+    loop.runUntil(2);
+
+    // Shrink below A's outstanding 80 bytes while B (90 bytes) is
+    // queued. B's request must be re-clamped to the new capacity so
+    // it is admissible once A drains — the old capacity would leave
+    // it queued forever.
+    gate.setCapacity(50);
+    EXPECT_EQ(gate.capacityBytes(), 50u);
+    EXPECT_EQ(gate.reservedBytes(), 80u); // drains, not revoked
+    EXPECT_EQ(gate.waiterCount(), 1u);
+
+    loop.run();
+    EXPECT_TRUE(b_admitted);
+    EXPECT_TRUE(b_done);
+    EXPECT_EQ(granted_a, 80u);
+    EXPECT_EQ(granted_b, 50u); // re-clamped to the shrunken pool
+    EXPECT_EQ(gate.reservedBytes(), 0u);
+}
+
+TEST(GrantGate, GrowAdmitsQueuedWaitersImmediately)
+{
+    EventLoop loop;
+    GrantGate gate(loop, 100);
+    SimTime admitted_at = 0;
+    auto holder = [&]() -> Task<void> {
+        co_await gate.acquire(100);
+        co_await SimDelay(loop, 50);
+        gate.release(100);
+    };
+    auto waiter = [&]() -> Task<void> {
+        co_await SimDelay(loop, 1);
+        uint64_t granted = 0;
+        co_await gate.acquire(60, &granted);
+        admitted_at = loop.now();
+        gate.release(granted);
+    };
+    loop.spawn(holder());
+    loop.spawn(waiter());
+    loop.runUntil(10);
+    gate.setCapacity(200); // growth frees 100 bytes right now
+    loop.run();
+    EXPECT_EQ(admitted_at, 10);
+}
+
 TEST(GrantGate, SerializedWhenGrantsEqualCapacity)
 {
     EventLoop loop;
