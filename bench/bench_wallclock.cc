@@ -59,8 +59,8 @@ BENCHMARK(BM_TpchE2E)->Arg(1)->Arg(6)->Repetitions(3);
 // -------------------------------------------------------- JSON reporter
 
 /**
- * Collects per-benchmark mean real time and emits nothing during the
- * run; main() prints the combined JSON afterwards.
+ * Collects per-benchmark mean real time (and user counters) and emits
+ * nothing during the run; main() prints the combined JSON afterwards.
  */
 class CollectingReporter : public benchmark::BenchmarkReporter
 {
@@ -83,9 +83,12 @@ class CollectingReporter : public benchmark::BenchmarkReporter
                 name.resize(p);
             // Keep the fastest repetition: wall-clock noise on a
             // shared host only ever inflates.
-            auto [it, fresh] = ms_.emplace(std::move(name), ms);
-            if (!fresh && ms < it->second)
+            auto [it, fresh] = ms_.emplace(name, ms);
+            if (fresh || ms < it->second) {
                 it->second = ms;
+                for (const auto &[cname, c] : r.counters)
+                    counters_[name][cname] = double(c);
+            }
         }
     }
 
@@ -96,8 +99,27 @@ class CollectingReporter : public benchmark::BenchmarkReporter
         return it == ms_.end() ? 0.0 : it->second;
     }
 
+    double
+    counter(const std::string &name, const std::string &cname) const
+    {
+        auto it = counters_.find(name);
+        if (it == counters_.end())
+            return 0.0;
+        auto jt = it->second.find(cname);
+        return jt == it->second.end() ? 0.0 : jt->second;
+    }
+
+    /** bytes_per_pass / ms — MB/s-scale honesty metric per kernel. */
+    double
+    bytesPerMs(const std::string &name) const
+    {
+        const double ms = at(name);
+        return ms > 0 ? counter(name, "bytes_per_pass") / ms : 0.0;
+    }
+
   private:
     std::map<std::string, double> ms_;
+    std::map<std::string, std::map<std::string, double>> counters_;
 };
 
 /**
@@ -116,6 +138,22 @@ struct SeedBaseline
     double tpch_q6_ms = 0.223;
 };
 
+/**
+ * PR 1 (vectorization pass) wall-clock numbers, captured on this
+ * machine from the committed BENCH_wallclock.json before the
+ * compression/prefetch/morsel pass. The trajectory the acceptance
+ * criteria measure against.
+ */
+struct Pr1Baseline
+{
+    double filter_vectorized_ms = 3.072;
+    double eval_column_ms = 11.824;
+    double hash_agg_flat_ms = 7.065;
+    double hash_join_flat_ms = 46.749;
+    double tpch_q1_ms = 0.328;
+    double tpch_q6_ms = 0.048;
+};
+
 } // namespace
 } // namespace dbsens
 
@@ -129,8 +167,10 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks(&rep);
 
     const dbsens::SeedBaseline seed;
+    const dbsens::Pr1Baseline pr1;
     const double filter_ref = rep.at("BM_FilterScalarRef");
     const double filter_vec = rep.at("BM_FilterVectorized");
+    const double filter_comp = rep.at("BM_FilterCompressed");
     const double eval_col = rep.at("BM_EvalColumn");
     const double agg_ref = rep.at("BM_HashAggRef");
     const double agg_flat = rep.at("BM_HashAggFlat");
@@ -150,6 +190,7 @@ main(int argc, char **argv)
     printf("  \"current\": {\n");
     printf("    \"filter_scalar_ref_ms\": %.3f,\n", filter_ref);
     printf("    \"filter_vectorized_ms\": %.3f,\n", filter_vec);
+    printf("    \"filter_compressed_ms\": %.3f,\n", filter_comp);
     printf("    \"eval_column_ms\": %.3f,\n", eval_col);
     printf("    \"hash_agg_ref_ms\": %.3f,\n", agg_ref);
     printf("    \"hash_agg_flat_ms\": %.3f,\n", agg_flat);
@@ -157,6 +198,44 @@ main(int argc, char **argv)
     printf("    \"hash_join_flat_ms\": %.3f,\n", join_flat);
     printf("    \"tpch_q1_ms\": %.3f,\n", q1);
     printf("    \"tpch_q6_ms\": %.3f\n", q6);
+    printf("  },\n");
+    printf("  \"bytes_per_pass\": {\n");
+    printf("    \"filter_vectorized\": %.0f,\n",
+           rep.counter("BM_FilterVectorized", "bytes_per_pass"));
+    printf("    \"filter_compressed\": %.0f,\n",
+           rep.counter("BM_FilterCompressed", "bytes_per_pass"));
+    printf("    \"eval_column\": %.0f,\n",
+           rep.counter("BM_EvalColumn", "bytes_per_pass"));
+    printf("    \"hash_agg_flat\": %.0f,\n",
+           rep.counter("BM_HashAggFlat", "bytes_per_pass"));
+    printf("    \"hash_join_flat\": %.0f\n",
+           rep.counter("BM_HashJoinFlat", "bytes_per_pass"));
+    printf("  },\n");
+    printf("  \"bytes_per_ms\": {\n");
+    printf("    \"filter_vectorized\": %.0f,\n",
+           rep.bytesPerMs("BM_FilterVectorized"));
+    printf("    \"filter_compressed\": %.0f,\n",
+           rep.bytesPerMs("BM_FilterCompressed"));
+    printf("    \"eval_column\": %.0f,\n",
+           rep.bytesPerMs("BM_EvalColumn"));
+    printf("    \"hash_agg_flat\": %.0f,\n",
+           rep.bytesPerMs("BM_HashAggFlat"));
+    printf("    \"hash_join_flat\": %.0f\n",
+           rep.bytesPerMs("BM_HashJoinFlat"));
+    printf("  },\n");
+    printf("  \"morsel_ms\": {\n");
+    printf("    \"filter_w1\": %.3f,\n", rep.at("BM_FilterMorsel/1"));
+    printf("    \"filter_w2\": %.3f,\n", rep.at("BM_FilterMorsel/2"));
+    printf("    \"filter_w4\": %.3f,\n", rep.at("BM_FilterMorsel/4"));
+    printf("    \"hash_agg_w1\": %.3f,\n", rep.at("BM_HashAggMorsel/1"));
+    printf("    \"hash_agg_w2\": %.3f,\n", rep.at("BM_HashAggMorsel/2"));
+    printf("    \"hash_agg_w4\": %.3f,\n", rep.at("BM_HashAggMorsel/4"));
+    printf("    \"hash_join_w1\": %.3f,\n",
+           rep.at("BM_HashJoinMorsel/1"));
+    printf("    \"hash_join_w2\": %.3f,\n",
+           rep.at("BM_HashJoinMorsel/2"));
+    printf("    \"hash_join_w4\": %.3f\n",
+           rep.at("BM_HashJoinMorsel/4"));
     printf("  },\n");
     printf("  \"seed_baseline\": {\n");
     printf("    \"filter_ms\": %.3f,\n", seed.filter_ms);
@@ -175,6 +254,29 @@ main(int argc, char **argv)
            ratio(seed.hash_join_ms, join_flat));
     printf("    \"tpch_q1\": %.2f,\n", ratio(seed.tpch_q1_ms, q1));
     printf("    \"tpch_q6\": %.2f\n", ratio(seed.tpch_q6_ms, q6));
+    printf("  },\n");
+    printf("  \"pr1_baseline\": {\n");
+    printf("    \"filter_vectorized_ms\": %.3f,\n",
+           pr1.filter_vectorized_ms);
+    printf("    \"eval_column_ms\": %.3f,\n", pr1.eval_column_ms);
+    printf("    \"hash_agg_flat_ms\": %.3f,\n", pr1.hash_agg_flat_ms);
+    printf("    \"hash_join_flat_ms\": %.3f,\n", pr1.hash_join_flat_ms);
+    printf("    \"tpch_q1_ms\": %.3f,\n", pr1.tpch_q1_ms);
+    printf("    \"tpch_q6_ms\": %.3f\n", pr1.tpch_q6_ms);
+    printf("  },\n");
+    printf("  \"speedup_vs_pr1\": {\n");
+    printf("    \"filter\": %.2f,\n",
+           ratio(pr1.filter_vectorized_ms, filter_vec));
+    printf("    \"filter_compressed\": %.2f,\n",
+           ratio(pr1.filter_vectorized_ms, filter_comp));
+    printf("    \"eval_column\": %.2f,\n",
+           ratio(pr1.eval_column_ms, eval_col));
+    printf("    \"hash_agg\": %.2f,\n",
+           ratio(pr1.hash_agg_flat_ms, agg_flat));
+    printf("    \"hash_join\": %.2f,\n",
+           ratio(pr1.hash_join_flat_ms, join_flat));
+    printf("    \"tpch_q1\": %.2f,\n", ratio(pr1.tpch_q1_ms, q1));
+    printf("    \"tpch_q6\": %.2f\n", ratio(pr1.tpch_q6_ms, q6));
     printf("  },\n");
     printf("  \"speedup_vs_ref_in_binary\": {\n");
     printf("    \"filter\": %.2f,\n", ratio(filter_ref, filter_vec));

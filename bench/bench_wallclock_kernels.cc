@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -20,6 +21,8 @@
 #include "core/random.h"
 #include "exec/expr.h"
 #include "exec/flat_hash.h"
+#include "exec/morsel.h"
+#include "storage/encoded_column.h"
 #include "wallclock_params.h"
 
 namespace dbsens {
@@ -71,6 +74,39 @@ q6Pred()
                      lt(col("qty"), lit(int64_t(24)))));
 }
 
+/**
+ * testChunk() with every column compressed: ship/qty bit-pack (12 and
+ * 6 bits), disc dictionary (11 distinct), price overflows the
+ * dictionary and stays Raw — the adversarial mix, on purpose.
+ */
+const Chunk &
+encodedChunk()
+{
+    static const Chunk chunk = [] {
+        const Chunk &src = testChunk();
+        Chunk c;
+        for (const auto &cv : src.columns()) {
+            auto enc = std::make_shared<const EncodedColumn>(
+                cv.type() == TypeId::Double
+                    ? EncodedColumn::encodeDoubles(cv.doubles())
+                    : EncodedColumn::encodeInts(cv.ints()));
+            c.addColumn(ColumnVector::encoded(cv.name(), enc));
+        }
+        return c;
+    }();
+    return chunk;
+}
+
+/** Sum of the compressed footprints of encodedChunk()'s columns. */
+size_t
+encodedBytes()
+{
+    size_t total = 0;
+    for (const auto &cv : encodedChunk().columns())
+        total += cv.encodedData()->packedBytes();
+    return total;
+}
+
 struct JoinData
 {
     std::vector<int64_t> build, probe;
@@ -93,6 +129,19 @@ joinData()
     return d;
 }
 
+/**
+ * Record the bytes one kernel pass reads+writes: google-benchmark
+ * derives bytes/s, and the JSON reporter derives bytes/ms — the
+ * honest denominator for "is this kernel memory-bound?".
+ */
+void
+setBytes(benchmark::State &state, size_t bytes_per_pass)
+{
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            int64_t(bytes_per_pass));
+    state.counters["bytes_per_pass"] = double(bytes_per_pass);
+}
+
 // ------------------------------------------------------ filter kernels
 
 void
@@ -111,6 +160,7 @@ BM_FilterScalarRef(benchmark::State &state)
     }
     state.SetItemsProcessed(int64_t(state.iterations()) *
                             int64_t(chunk.rows()));
+    setBytes(state, kRows * 4 * 8); // four 8-byte predicate columns
     state.counters["matches"] = double(matches);
 }
 BENCHMARK(BM_FilterScalarRef)->Repetitions(3);
@@ -128,9 +178,53 @@ BM_FilterVectorized(benchmark::State &state)
     }
     state.SetItemsProcessed(int64_t(state.iterations()) *
                             int64_t(chunk.rows()));
+    setBytes(state, kRows * 4 * 8);
     state.counters["matches"] = double(matches);
 }
 BENCHMARK(BM_FilterVectorized)->Repetitions(3);
+
+/**
+ * Same predicate over the compressed chunk: comparisons translated to
+ * the code domain, selection compaction on packed codes — the pass
+ * streams the compressed bytes, not the decoded 32 MB.
+ */
+void
+BM_FilterCompressed(benchmark::State &state)
+{
+    const Chunk &chunk = encodedChunk();
+    auto pred = q6Pred();
+    size_t matches = 0;
+    for (auto _ : state) {
+        auto sel = filterRows(pred, chunk);
+        matches = sel.size();
+        benchmark::DoNotOptimize(sel.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(chunk.rows()));
+    setBytes(state, encodedBytes());
+    state.counters["matches"] = double(matches);
+}
+BENCHMARK(BM_FilterCompressed)->Repetitions(3);
+
+/** Morsel-parallel vectorized filter; Arg = worker count. */
+void
+BM_FilterMorsel(benchmark::State &state)
+{
+    const Chunk &chunk = testChunk();
+    WorkerPool pool(unsigned(state.range(0)));
+    BoundExpr be(q6Pred(), chunk, nullptr);
+    size_t matches = 0;
+    for (auto _ : state) {
+        auto sel = morselFilter(be, chunk.rows(), &pool);
+        matches = sel.size();
+        benchmark::DoNotOptimize(sel.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(chunk.rows()));
+    setBytes(state, kRows * 4 * 8);
+    state.counters["matches"] = double(matches);
+}
+BENCHMARK(BM_FilterMorsel)->Arg(1)->Arg(2)->Arg(4)->Repetitions(3);
 
 void
 BM_EvalColumn(benchmark::State &state)
@@ -143,6 +237,7 @@ BM_EvalColumn(benchmark::State &state)
     }
     state.SetItemsProcessed(int64_t(state.iterations()) *
                             int64_t(chunk.rows()));
+    setBytes(state, kRows * 3 * 8); // price+disc read, result write
 }
 BENCHMARK(BM_EvalColumn)->Repetitions(3);
 
@@ -193,6 +288,7 @@ BM_HashAggRef(benchmark::State &state)
     }
     state.SetItemsProcessed(int64_t(state.iterations()) *
                             int64_t(kRows));
+    setBytes(state, kRows * 3 * 8); // two key columns + value column
     state.counters["groups"] = double(ngroups);
 }
 BENCHMARK(BM_HashAggRef)->Repetitions(3);
@@ -235,9 +331,96 @@ BM_HashAggFlat(benchmark::State &state)
     }
     state.SetItemsProcessed(int64_t(state.iterations()) *
                             int64_t(kRows));
+    setBytes(state, kRows * 3 * 8);
     state.counters["groups"] = double(ngroups);
 }
 BENCHMARK(BM_HashAggFlat)->Repetitions(3);
+
+/**
+ * Morsel-parallel aggregation: each morsel builds a local FlatGroupMap
+ * partial, partials merge into the global table in morsel order (the
+ * deterministic merge the executor's aggregate would use); Arg =
+ * worker count.
+ */
+void
+BM_HashAggMorsel(benchmark::State &state)
+{
+    const Chunk &chunk = testChunk();
+    const int64_t *kc = chunk.byName("qty").ints().data();
+    const int64_t *kc2 = chunk.byName("ship").ints().data();
+    const double *vc = chunk.byName("price").doubles().data();
+    WorkerPool pool(unsigned(state.range(0)));
+    struct Part
+    {
+        std::vector<int64_t> keys; // stride 2
+        std::vector<double> sums;
+    };
+    size_t ngroups = 0;
+    for (auto _ : state) {
+        auto parts = morselMap<Part>(
+            &pool, kRows, kDefaultMorselRows,
+            [&](size_t, size_t begin, size_t end) {
+                Part p;
+                FlatGroupMap index(1024);
+                for (size_t i = begin; i < end; ++i) {
+                    const int64_t k0 = kc[i], k1 = kc2[i] % 8;
+                    uint64_t h = hashCombine(0xA66, uint64_t(k0));
+                    h = hashCombine(h, uint64_t(k1));
+                    bool inserted = false;
+                    const uint32_t g = index.findOrInsert(
+                        h, uint32_t(p.sums.size()),
+                        [&](uint32_t gid) {
+                            const int64_t *gk =
+                                p.keys.data() + size_t(gid) * 2;
+                            return gk[0] == k0 && gk[1] == k1;
+                        },
+                        inserted);
+                    if (inserted) {
+                        p.keys.push_back(k0);
+                        p.keys.push_back(k1);
+                        p.sums.push_back(0);
+                    }
+                    p.sums[g] += vc[i];
+                }
+                return p;
+            });
+        // Deterministic merge: partials in morsel order, groups in
+        // each partial's first-appearance order.
+        FlatGroupMap index(1024);
+        std::vector<int64_t> group_keys; // stride 2
+        std::vector<double> sums;
+        for (const Part &p : parts) {
+            for (size_t gi = 0; gi < p.sums.size(); ++gi) {
+                const int64_t k0 = p.keys[gi * 2];
+                const int64_t k1 = p.keys[gi * 2 + 1];
+                uint64_t h = hashCombine(0xA66, uint64_t(k0));
+                h = hashCombine(h, uint64_t(k1));
+                bool inserted = false;
+                const uint32_t g = index.findOrInsert(
+                    h, uint32_t(sums.size()),
+                    [&](uint32_t gid) {
+                        const int64_t *gk =
+                            group_keys.data() + size_t(gid) * 2;
+                        return gk[0] == k0 && gk[1] == k1;
+                    },
+                    inserted);
+                if (inserted) {
+                    group_keys.push_back(k0);
+                    group_keys.push_back(k1);
+                    sums.push_back(0);
+                }
+                sums[g] += p.sums[gi];
+            }
+        }
+        ngroups = sums.size();
+        benchmark::DoNotOptimize(sums.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(kRows));
+    setBytes(state, kRows * 3 * 8);
+    state.counters["groups"] = double(ngroups);
+}
+BENCHMARK(BM_HashAggMorsel)->Arg(1)->Arg(2)->Arg(4)->Repetitions(3);
 
 // --------------------------------------------------------- join kernels
 
@@ -268,6 +451,7 @@ BM_HashJoinRef(benchmark::State &state)
     }
     state.SetItemsProcessed(int64_t(state.iterations()) *
                             int64_t(kRows));
+    setBytes(state, (kRows + kBuildRows) * 8);
     state.counters["pairs"] = double(pairs);
 }
 BENCHMARK(BM_HashJoinRef)->Repetitions(3);
@@ -281,26 +465,62 @@ BENCHMARK(BM_HashJoinRef)->Repetitions(3);
 __attribute__((noinline)) void
 flatJoinBuild(FlatMultiMap &ht, const JoinData &jd)
 {
+    // Batched hash → prefetch → insert: by the time a slot line is
+    // dereferenced, its fetch has been in flight for a whole batch.
     ht.reserve(kBuildRows);
-    for (uint32_t i = 0; i < kBuildRows; ++i)
-        ht.insert(hashCombine(0x51ed, uint64_t(jd.build[i])), i);
+    uint64_t hashes[kFlatHashProbeBatch];
+    for (uint32_t at = 0; at < kBuildRows;) {
+        const uint32_t m = uint32_t(
+            std::min(size_t(kBuildRows - at), kFlatHashProbeBatch));
+        for (uint32_t j = 0; j < m; ++j) {
+            hashes[j] = hashCombine(0x51ed, uint64_t(jd.build[at + j]));
+            ht.prefetchForInsert(hashes[j]);
+        }
+        for (uint32_t j = 0; j < m; ++j)
+            ht.insert(hashes[j], at + j);
+        at += m;
+    }
 }
 
 __attribute__((noinline)) void
-flatJoinProbe(const FlatMultiMap &ht, const JoinData &jd,
-              std::vector<uint32_t> &lsel, std::vector<uint32_t> &rsel)
+flatJoinProbeRange(const FlatMultiMap &ht, const JoinData &jd,
+                   size_t begin, size_t end,
+                   std::vector<uint32_t> &lsel,
+                   std::vector<uint32_t> &rsel)
 {
-    for (uint32_t i = 0; i < kRows; ++i) {
-        ht.forEachMatch(
-            hashCombine(0x51ed, uint64_t(jd.probe[i])),
-            [&](uint32_t b) {
+    // Two pipelined stages per batch: hash + prefetch all slot lines,
+    // then walk them — each slot's fetch has a whole batch of work in
+    // flight ahead of its first dereference. (A third stage deferring
+    // the build-key verify behind its own prefetch was tried and lost:
+    // the 2 MB key array is cache-resident, so the candidate-buffer
+    // traffic cost more than the verify loads it hid.)
+    uint64_t hashes[kFlatHashProbeBatch];
+    for (uint32_t at = uint32_t(begin); at < uint32_t(end);) {
+        const uint32_t m = uint32_t(
+            std::min(end - size_t(at), kFlatHashProbeBatch));
+        for (uint32_t j = 0; j < m; ++j) {
+            hashes[j] = hashCombine(0x51ed, uint64_t(jd.probe[at + j]));
+            ht.prefetch(hashes[j]);
+        }
+        for (uint32_t j = 0; j < m; ++j) {
+            const uint32_t i = at + j;
+            ht.forEachMatch(hashes[j], [&](uint32_t b) {
                 if (jd.build[b] == jd.probe[i]) {
                     lsel.push_back(i);
                     rsel.push_back(b);
                 }
                 return true;
             });
+        }
+        at += m;
     }
+}
+
+void
+flatJoinProbe(const FlatMultiMap &ht, const JoinData &jd,
+              std::vector<uint32_t> &lsel, std::vector<uint32_t> &rsel)
+{
+    flatJoinProbeRange(ht, jd, 0, kRows, lsel, rsel);
 }
 
 /** New shape: FlatMultiMap with insertion-order match replay. */
@@ -321,9 +541,55 @@ BM_HashJoinFlat(benchmark::State &state)
     }
     state.SetItemsProcessed(int64_t(state.iterations()) *
                             int64_t(kRows));
+    setBytes(state, (kRows + kBuildRows) * 8);
     state.counters["pairs"] = double(pairs);
 }
 BENCHMARK(BM_HashJoinFlat)->Repetitions(3);
+
+/**
+ * Morsel-parallel probe over a serially built table (build order
+ * defines match replay order, so it stays single-threaded); per-morsel
+ * pair lists concatenate in morsel order. Arg = worker count.
+ */
+void
+BM_HashJoinMorsel(benchmark::State &state)
+{
+    const JoinData &jd = joinData();
+    WorkerPool pool(unsigned(state.range(0)));
+    struct Part
+    {
+        std::vector<uint32_t> lsel, rsel;
+    };
+    size_t pairs = 0;
+    for (auto _ : state) {
+        FlatMultiMap ht;
+        flatJoinBuild(ht, jd);
+        auto parts = morselMap<Part>(
+            &pool, kRows, kDefaultMorselRows,
+            [&](size_t, size_t begin, size_t end) {
+                Part p;
+                flatJoinProbeRange(ht, jd, begin, end, p.lsel, p.rsel);
+                return p;
+            });
+        std::vector<uint32_t> lsel, rsel;
+        size_t np = 0;
+        for (const Part &p : parts)
+            np += p.lsel.size();
+        lsel.reserve(np);
+        rsel.reserve(np);
+        for (const Part &p : parts) {
+            lsel.insert(lsel.end(), p.lsel.begin(), p.lsel.end());
+            rsel.insert(rsel.end(), p.rsel.begin(), p.rsel.end());
+        }
+        pairs = lsel.size();
+        benchmark::DoNotOptimize(lsel.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(kRows));
+    setBytes(state, (kRows + kBuildRows) * 8);
+    state.counters["pairs"] = double(pairs);
+}
+BENCHMARK(BM_HashJoinMorsel)->Arg(1)->Arg(2)->Arg(4)->Repetitions(3);
 
 } // namespace
 } // namespace dbsens

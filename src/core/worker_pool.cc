@@ -1,0 +1,92 @@
+#include "core/worker_pool.h"
+
+namespace dbsens {
+
+WorkerPool::WorkerPool(unsigned workers)
+    : workers_(workers < 1 ? 1 : workers)
+{
+    threads_.reserve(workers_ - 1);
+    for (unsigned i = 1; i < workers_; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    wakeCv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+WorkerPool::drain(Batch &b)
+{
+    for (;;) {
+        const size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= b.ntasks)
+            return;
+        (*b.fn)(i);
+        b.done.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+WorkerPool::workerLoop()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<Batch> b;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            wakeCv_.wait(lk, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            b = batch_;
+        }
+        if (!b)
+            continue;
+        drain(*b);
+        if (b->done.load(std::memory_order_acquire) == b->ntasks) {
+            // Might be a duplicate notify (another worker finished the
+            // last task first); harmless, the waiter re-checks.
+            std::lock_guard<std::mutex> lk(mu_);
+            doneCv_.notify_all();
+        }
+    }
+}
+
+void
+WorkerPool::runTasks(size_t ntasks,
+                     const std::function<void(size_t)> &fn)
+{
+    if (ntasks == 0)
+        return;
+    if (workers_ <= 1 || ntasks == 1) {
+        for (size_t i = 0; i < ntasks; ++i)
+            fn(i);
+        return;
+    }
+    auto b = std::make_shared<Batch>();
+    b->fn = &fn;
+    b->ntasks = ntasks;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        batch_ = b;
+        ++generation_;
+    }
+    wakeCv_.notify_all();
+    drain(*b);
+    std::unique_lock<std::mutex> lk(mu_);
+    doneCv_.wait(lk, [&] {
+        return b->done.load(std::memory_order_acquire) == b->ntasks;
+    });
+    batch_.reset();
+}
+
+} // namespace dbsens

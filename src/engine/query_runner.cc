@@ -132,7 +132,8 @@ memShareFor(const QueryProfile &profile, uint64_t grant_bytes)
 ProfiledQuery
 profileQuery(Database &db, const PlanNode &logical,
              const OptimizerConfig &cfg, BufferPool *pool,
-             CacheFeed *trace_feed, Chunk *result_out)
+             CacheFeed *trace_feed, Chunk *result_out,
+             WorkerPool *workers)
 {
     ProfiledQuery out;
     PlanPtr plan = clonePlan(logical);
@@ -148,6 +149,7 @@ profileQuery(Database &db, const PlanNode &logical,
     ctx.feed = trace_feed;
     ctx.profile = &out.profile;
     ctx.tempSpace = &db.space();
+    ctx.workers = workers;
     Executor ex(ctx);
     Chunk result = ex.run(*plan);
     out.resultRows = result.rows();

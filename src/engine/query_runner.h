@@ -70,12 +70,16 @@ class ProfilingEnv
  * Optimize a copy of `logical` for `cfg` and execute it functionally,
  * producing the profile. `trace_feed` (optional) receives sampled
  * cache accesses; `pool` (optional) evolves buffer residency.
+ * `workers` (optional) morselizes the wallclock compute across a
+ * WorkerPool; the profile, trace, and result are identical for every
+ * worker count (see ExecContext::workers).
  */
 ProfiledQuery profileQuery(Database &db, const PlanNode &logical,
                            const OptimizerConfig &cfg,
                            BufferPool *pool = nullptr,
                            CacheFeed *trace_feed = nullptr,
-                           Chunk *result_out = nullptr);
+                           Chunk *result_out = nullptr,
+                           WorkerPool *workers = nullptr);
 
 /** Per-run parameters for replaying a profile. */
 struct ReplayParams

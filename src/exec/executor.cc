@@ -7,7 +7,9 @@
 #include <unordered_set>
 
 #include "core/logging.h"
+#include "core/worker_pool.h"
 #include "exec/flat_hash.h"
+#include "exec/morsel.h"
 
 namespace dbsens {
 
@@ -283,7 +285,13 @@ Executor::execFilter(const PlanNode &n, Chunk in)
     OpProfile op;
     op.label = "Filter";
     op.rowsIn = in.rows();
-    const auto sel = filterRows(n.predicate, in, &ctx_.params);
+    std::vector<uint32_t> sel;
+    if (ctx_.workers) {
+        const BoundExpr be(n.predicate, in, &ctx_.params);
+        sel = morselFilter(be, in.rows(), ctx_.workers);
+    } else {
+        sel = filterRows(n.predicate, in, &ctx_.params);
+    }
     Chunk out = in.gather(sel);
     op.rowsOut = out.rows();
     op.instructions =
@@ -309,6 +317,14 @@ Executor::execProject(const PlanNode &n, Chunk in)
             c.rename(spec.alias.empty() ? spec.expr->column : spec.alias);
             out.addColumn(std::move(c));
             per_row += 0.1;
+        } else if (ctx_.workers) {
+            const BoundExpr be(spec.expr, in, &ctx_.params);
+            ColumnVector c = ColumnVector::doubles(spec.alias);
+            c.doubles().resize(in.rows());
+            morselEval(be, in.rows(), c.doubles().data(),
+                       ctx_.workers);
+            out.addColumn(std::move(c));
+            per_row += kProjectPerNodeInstr * exprSize(*spec.expr);
         } else {
             out.addColumn(
                 evalColumn(spec.expr, in, spec.alias, &ctx_.params));
@@ -377,11 +393,34 @@ Executor::execHashJoin(const PlanNode &n, Chunk left, Chunk right)
     if (ctx_.tempSpace)
         ht_region = ctx_.tempSpace->allocateScaled(
             std::max<uint64_t>(build_bytes, 64));
-    for (uint32_t i = 0; i < right.rows(); ++i) {
-        ht.insert(hash_row(rkeys, i), i);
-        if (i % kProbeTouchStride == 0 && ht_region.valid())
+    // The sampled DES touches depend only on the row position (one
+    // per stride), never on table state, so they hoist out of the
+    // compute loop wholesale: same touch count, same order, same rng
+    // draws as the historical interleaved loop — byte-identical
+    // traces — and the compute loop below stays free of simulation
+    // state.
+    if (ht_region.valid()) {
+        for (uint32_t i = 0; i < uint32_t(right.rows());
+             i += uint32_t(kProbeTouchStride))
             touch(ht_region.fractionAddr(ctx_.rng.uniformReal()),
                   build_op);
+    }
+    // Batched hash → prefetch → insert: hides the random slot-line
+    // fetch behind a batch of hashing.
+    {
+        uint64_t hashes[kFlatHashProbeBatch];
+        const uint32_t nr = uint32_t(right.rows());
+        for (uint32_t at = 0; at < nr;) {
+            const uint32_t m = uint32_t(std::min(size_t(nr - at),
+                                                 kFlatHashProbeBatch));
+            for (uint32_t j = 0; j < m; ++j) {
+                hashes[j] = hash_row(rkeys, at + j);
+                ht.prefetchForInsert(hashes[j]);
+            }
+            for (uint32_t j = 0; j < m; ++j)
+                ht.insert(hashes[j], at + j);
+            at += m;
+        }
     }
     build_op.instructions =
         double(right.rows()) *
@@ -403,43 +442,91 @@ Executor::execHashJoin(const PlanNode &n, Chunk left, Chunk right)
         return true;
     };
 
-    // Probe: collect matching index pairs.
-    std::vector<uint32_t> lsel, rsel;
     const bool semi = n.joinType == JoinType::LeftSemi;
     const bool anti = n.joinType == JoinType::LeftAnti;
     const bool outer = n.joinType == JoinType::LeftOuter;
-    lsel.reserve(left.rows());
-    if (!semi && !anti)
-        rsel.reserve(left.rows());
-    std::vector<uint8_t> matched_flag;
-    if (outer)
-        matched_flag.reserve(left.rows());
 
-    for (uint32_t i = 0; i < left.rows(); ++i) {
-        const uint64_t h = hash_row(lkeys, i);
-        bool any = false;
-        ht.forEachMatch(h, [&](uint32_t ri) {
-            if (!keys_equal(i, ri))
-                return true;
-            any = true;
-            if (semi || anti)
-                return false; // existence settled, stop probing
-            lsel.push_back(i);
-            rsel.push_back(ri);
-            if (outer)
-                matched_flag.push_back(1);
-            return true;
-        });
-        if ((semi && any) || (anti && !any)) {
-            lsel.push_back(i);
-        } else if (outer && !any) {
-            lsel.push_back(i);
-            rsel.push_back(UINT32_MAX);
-            matched_flag.push_back(0);
-        }
-        if (i % kProbeTouchStride == 0 && ht_region.valid())
+    // Probe touches, hoisted like the build's: position-sampled only,
+    // so the DES trace matches the interleaved loop byte for byte.
+    if (ht_region.valid()) {
+        for (uint32_t i = 0; i < uint32_t(left.rows());
+             i += uint32_t(kProbeTouchStride))
             touch(ht_region.fractionAddr(ctx_.rng.uniformReal()),
                   probe_op);
+    }
+
+    // Probe: collect matching index pairs. Each row's matches depend
+    // only on that row and the (now read-only) hash table, so probing
+    // morselizes: per-morsel pair lists concatenated in morsel order
+    // equal the serial probe output exactly.
+    struct ProbePart {
+        std::vector<uint32_t> lsel, rsel;
+        std::vector<uint8_t> matched;
+    };
+    auto probe_range = [&](size_t begin, size_t end) {
+        ProbePart part;
+        part.lsel.reserve(end - begin);
+        if (!semi && !anti)
+            part.rsel.reserve(end - begin);
+        if (outer)
+            part.matched.reserve(end - begin);
+        // Batched hash → prefetch → probe, like the build loop above.
+        uint64_t hashes[kFlatHashProbeBatch];
+        for (uint32_t at = uint32_t(begin); at < uint32_t(end);) {
+            const uint32_t m = uint32_t(std::min(
+                end - size_t(at), kFlatHashProbeBatch));
+            for (uint32_t j = 0; j < m; ++j) {
+                hashes[j] = hash_row(lkeys, at + j);
+                ht.prefetch(hashes[j]);
+            }
+            for (uint32_t j = 0; j < m; ++j) {
+                const uint32_t i = at + j;
+                bool any = false;
+                ht.forEachMatch(hashes[j], [&](uint32_t ri) {
+                    if (!keys_equal(i, ri))
+                        return true;
+                    any = true;
+                    if (semi || anti)
+                        return false; // existence settled, stop
+                    part.lsel.push_back(i);
+                    part.rsel.push_back(ri);
+                    if (outer)
+                        part.matched.push_back(1);
+                    return true;
+                });
+                if ((semi && any) || (anti && !any)) {
+                    part.lsel.push_back(i);
+                } else if (outer && !any) {
+                    part.lsel.push_back(i);
+                    part.rsel.push_back(UINT32_MAX);
+                    part.matched.push_back(0);
+                }
+            }
+            at += m;
+        }
+        return part;
+    };
+
+    std::vector<uint32_t> lsel, rsel;
+    std::vector<uint8_t> matched_flag;
+    {
+        auto parts = morselMap<ProbePart>(
+            ctx_.workers, left.rows(), kDefaultMorselRows,
+            [&](size_t, size_t begin, size_t end) {
+                return probe_range(begin, end);
+            });
+        size_t np = 0;
+        for (const auto &p : parts)
+            np += p.lsel.size();
+        lsel.reserve(np);
+        rsel.reserve(np);
+        matched_flag.reserve(outer ? np : 0);
+        for (auto &p : parts) {
+            lsel.insert(lsel.end(), p.lsel.begin(), p.lsel.end());
+            rsel.insert(rsel.end(), p.rsel.begin(), p.rsel.end());
+            matched_flag.insert(matched_flag.end(), p.matched.begin(),
+                                p.matched.end());
+        }
     }
 
     // Assemble output.
@@ -604,14 +691,20 @@ Executor::execAggregate(const PlanNode &n, Chunk in)
     const size_t naggs = n.aggs.size();
     std::vector<std::vector<double>> arg_vals(naggs);
     if (nrows > 0) {
-        std::vector<uint32_t> idsel(nrows);
-        std::iota(idsel.begin(), idsel.end(), 0u);
         for (size_t a = 0; a < naggs; ++a) {
             if (!n.aggs[a].arg)
                 continue;
             BoundExpr be(n.aggs[a].arg, in, &ctx_.params);
             arg_vals[a].resize(nrows);
-            be.evalNumericSel(idsel.data(), nrows, arg_vals[a].data());
+            // Morsels write disjoint output spans, so the values are
+            // bitwise identical for any worker count; the group
+            // accumulation below stays serial so floating-point sums
+            // keep the exact serial order.
+            if (ctx_.workers)
+                morselEval(be, nrows, arg_vals[a].data(),
+                           ctx_.workers);
+            else
+                be.evalNumericRange(0, nrows, arg_vals[a].data());
         }
     }
 

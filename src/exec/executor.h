@@ -24,6 +24,8 @@
 
 namespace dbsens {
 
+class WorkerPool;
+
 /** Everything an execution needs; optional pieces may be null. */
 struct ExecContext
 {
@@ -32,6 +34,16 @@ struct ExecContext
     CacheFeed *feed = nullptr;       ///< sampled cache accesses
     QueryProfile *profile = nullptr; ///< per-operator cost records
     VirtualSpace *tempSpace = nullptr; ///< regions for hash/sort temps
+    /**
+     * Morsel worker pool for the wallclock compute (filter kernels,
+     * projections, join probes, aggregate arguments). Null (the
+     * default) keeps execution fully serial. The pool never runs
+     * simulated work: all DES touches and rng draws stay on the
+     * calling thread, so profiles and traces are identical for every
+     * worker count, and query *results* are identical too (morsel
+     * outputs merge in deterministic morsel order).
+     */
+    WorkerPool *workers = nullptr;
     ParamMap params;
     Rng rng{0x0DB5EED};
 };

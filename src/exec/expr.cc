@@ -398,10 +398,30 @@ evalNum(const Pool &pool, const Node &n, size_t i)
 //
 // Every kernel consumes/produces strictly increasing selection
 // vectors; filterNode shrinks in place, numericNode writes one double
-// per selected row.
+// per selected row. numericNode also has a *dense* mode: sel ==
+// nullptr means rows [base, base+n) — no index indirection, so the
+// common materialize-whole-column case (and the morsel executor's
+// row ranges) runs as straight-line loops the compiler vectorizes.
 
 void numericNode(const Pool &pool, int32_t ni, const uint32_t *sel,
-                 size_t n, double *out);
+                 size_t n, double *out, size_t base);
+
+/** Run fn(position, row) over the selection — or, when sel is null,
+ * densely over rows [base, base+n). Two loop bodies so the dense one
+ * carries no per-row conditional. */
+template <class Fn>
+inline void
+forRows(const uint32_t *sel, size_t n, size_t base, Fn fn)
+{
+    if (sel) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i, sel[i]);
+    } else {
+        const uint32_t b = uint32_t(base);
+        for (size_t i = 0; i < n; ++i)
+            fn(i, b + uint32_t(i));
+    }
+}
 
 /** sel := sel \ sub (both strictly increasing, sub ⊆ sel). */
 void
@@ -481,6 +501,26 @@ cmpKeep(CmpOp op, std::vector<uint32_t> &sel, GetA ga, GetB gb)
     }
 }
 
+/** exec CmpOp → storage EncCmp (same ordering by contract). */
+inline EncCmp
+encCmpOf(CmpOp op)
+{
+    return static_cast<EncCmp>(static_cast<uint8_t>(op));
+}
+
+/** Mirror a comparison for swapped operands (c op col ⇔ col op' c). */
+inline CmpOp
+swapCmp(CmpOp op)
+{
+    switch (op) {
+      case CmpOp::Lt: return CmpOp::Gt;
+      case CmpOp::Le: return CmpOp::Ge;
+      case CmpOp::Gt: return CmpOp::Lt;
+      case CmpOp::Ge: return CmpOp::Le;
+      default: return op;
+    }
+}
+
 /** Numeric-column comparison against whatever gb produces. */
 template <class GetB>
 void
@@ -557,10 +597,32 @@ filterNode(const Pool &pool, int32_t ni, std::vector<uint32_t> &sel)
             });
             return;
         }
-        const bool a_leaf = a.kind == ExprKind::ColRef ||
-                            a.kind == ExprKind::Const;
-        const bool b_leaf = b.kind == ExprKind::ColRef ||
-                            b.kind == ExprKind::Const;
+        // Compressed fast path: column-vs-literal runs directly on
+        // the encoded form (per-code match table or code-range test);
+        // no decode happens for rejected rows.
+        const bool a_enc = a.kind == ExprKind::ColRef &&
+                           a.colv->encodedData() != nullptr;
+        const bool b_enc = b.kind == ExprKind::ColRef &&
+                           b.colv->encodedData() != nullptr;
+        if (a_enc && b.kind == ExprKind::Const) {
+            a.colv->encodedData()->filterCmp(encCmpOf(n.cmp),
+                                             b.literalNum, sel);
+            return;
+        }
+        if (b_enc && a.kind == ExprKind::Const) {
+            b.colv->encodedData()->filterCmp(encCmpOf(swapCmp(n.cmp)),
+                                             a.literalNum, sel);
+            return;
+        }
+        // Encoded columns have no flat data to point at, so they are
+        // not leaves for the direct-access paths below; the general
+        // scratch path gathers (decodes) them instead.
+        const bool a_leaf =
+            (a.kind == ExprKind::ColRef && !a_enc) ||
+            a.kind == ExprKind::Const;
+        const bool b_leaf =
+            (b.kind == ExprKind::ColRef && !b_enc) ||
+            b.kind == ExprKind::Const;
         if (a_leaf && b_leaf) {
             // Leaf-vs-leaf: no scratch buffers, one typed pass.
             if (a.kind == ExprKind::ColRef && b.kind == ExprKind::Const) {
@@ -610,8 +672,8 @@ filterNode(const Pool &pool, int32_t ni, std::vector<uint32_t> &sel)
         // buffers over the current selection, then one compare pass.
         const size_t cnt = sel.size();
         std::vector<double> va(cnt), vb(cnt);
-        numericNode(pool, n.kid0, sel.data(), cnt, va.data());
-        numericNode(pool, n.kid1, sel.data(), cnt, vb.data());
+        numericNode(pool, n.kid0, sel.data(), cnt, va.data(), 0);
+        numericNode(pool, n.kid1, sel.data(), cnt, vb.data(), 0);
         cmpKeep(n.cmp, sel,
                 [&va](size_t i, uint32_t) { return va[i]; },
                 [&vb](size_t i, uint32_t) { return vb[i]; });
@@ -627,8 +689,15 @@ filterNode(const Pool &pool, int32_t ni, std::vector<uint32_t> &sel)
         return;
       }
       case ExprKind::InList: {
-        const int64_t *data = n.colv->ints().data();
         const auto &set = n.inCodesValid ? n.inCodes : n.inInts;
+        if (const EncodedColumn *enc = n.colv->encodedData()) {
+            keepIf(sel, [&set, enc](size_t, uint32_t r) {
+                return std::find(set.begin(), set.end(),
+                                 enc->intAt(r)) != set.end();
+            });
+            return;
+        }
+        const int64_t *data = n.colv->ints().data();
         keepIf(sel, [&set, data](size_t, uint32_t r) {
             return std::find(set.begin(), set.end(), data[r]) !=
                    set.end();
@@ -639,28 +708,87 @@ filterNode(const Pool &pool, int32_t ni, std::vector<uint32_t> &sel)
         // Numeric expression in boolean context: non-zero is true.
         const size_t cnt = sel.size();
         std::vector<double> v(cnt);
-        numericNode(pool, ni, sel.data(), cnt, v.data());
+        numericNode(pool, ni, sel.data(), cnt, v.data(), 0);
         keepIf(sel, [&v](size_t i, uint32_t) { return v[i] != 0.0; });
         return;
       }
     }
 }
 
+/** True for nodes a fused arithmetic loop can read per-row without
+ * recursion: literals and flat (non-encoded) column references. */
+inline bool
+fusableLeaf(const Node &nd)
+{
+    return nd.kind == ExprKind::Const ||
+           (nd.kind == ExprKind::ColRef &&
+            nd.colv->encodedData() == nullptr);
+}
+
+/** Invoke fn with a (row)->double getter for a fusable leaf. */
+template <class Fn>
+inline void
+withLeaf(const Node &nd, Fn fn)
+{
+    if (nd.kind == ExprKind::Const) {
+        const double c = nd.literalNum;
+        fn([c](uint32_t) { return c; });
+    } else if (nd.colv->type() == TypeId::Double) {
+        const double *d = nd.colv->doubles().data();
+        fn([d](uint32_t r) { return d[r]; });
+    } else {
+        const int64_t *d = nd.colv->ints().data();
+        fn([d](uint32_t r) { return double(d[r]); });
+    }
+}
+
+/** Invoke emit with a getter computing `ga op gb` per row. The
+ * per-row operation order matches the scalar oracle exactly
+ * (including the divide-by-zero guard), so fused results are bitwise
+ * identical to the reference path. */
+template <class GA, class GB, class Emit>
+inline void
+withArith(ArithOp op, GA ga, GB gb, Emit emit)
+{
+    switch (op) {
+      case ArithOp::Add:
+        emit([=](uint32_t r) { return ga(r) + gb(r); });
+        break;
+      case ArithOp::Sub:
+        emit([=](uint32_t r) { return ga(r) - gb(r); });
+        break;
+      case ArithOp::Mul:
+        emit([=](uint32_t r) { return ga(r) * gb(r); });
+        break;
+      case ArithOp::Div:
+        emit([=](uint32_t r) {
+            const double b = gb(r);
+            return b != 0 ? ga(r) / b : 0.0;
+        });
+        break;
+    }
+}
+
 void
 numericNode(const Pool &pool, int32_t ni, const uint32_t *sel, size_t n,
-            double *out)
+            double *out, size_t base)
 {
     const Node &nd = pool[size_t(ni)];
     switch (nd.kind) {
       case ExprKind::ColRef:
+        if (const EncodedColumn *enc = nd.colv->encodedData()) {
+            enc->gatherNumeric(sel, n, base, out);
+            return;
+        }
         if (nd.colv->type() == TypeId::Double) {
             const double *d = nd.colv->doubles().data();
-            for (size_t i = 0; i < n; ++i)
-                out[i] = d[sel[i]];
+            forRows(sel, n, base,
+                    [d, out](size_t i, uint32_t r) { out[i] = d[r]; });
         } else {
             const int64_t *d = nd.colv->ints().data();
-            for (size_t i = 0; i < n; ++i)
-                out[i] = double(d[sel[i]]);
+            forRows(sel, n, base, [d, out](size_t i, uint32_t r) {
+                out[i] = double(d[r]);
+            });
         }
         return;
       case ExprKind::Const: {
@@ -670,12 +798,58 @@ numericNode(const Pool &pool, int32_t ni, const uint32_t *sel, size_t n,
         return;
       }
       case ExprKind::Arith: {
+        const Node &ka = pool[size_t(nd.kid0)];
+        const Node &kb = pool[size_t(nd.kid1)];
+        const auto emitOut = [&](auto g) {
+            forRows(sel, n, base,
+                    [&g, out](size_t i, uint32_t r) { out[i] = g(r); });
+        };
+        // Fused loops: up to two arithmetic levels over leaves run as
+        // a single pass with zero scratch buffers (covers the
+        // workhorse shapes `a ⊗ b` and `a ⊗ (b ⊗ c)`, e.g.
+        // price * (1 - disc)). This is what closed the eval_column
+        // per-row-indirection gap.
+        if (fusableLeaf(ka) && fusableLeaf(kb)) {
+            withLeaf(ka, [&](auto ga) {
+                withLeaf(kb, [&](auto gb) {
+                    withArith(nd.arith, ga, gb, emitOut);
+                });
+            });
+            return;
+        }
+        if (fusableLeaf(ka) && kb.kind == ExprKind::Arith &&
+            fusableLeaf(pool[size_t(kb.kid0)]) &&
+            fusableLeaf(pool[size_t(kb.kid1)])) {
+            withLeaf(ka, [&](auto ga) {
+                withLeaf(pool[size_t(kb.kid0)], [&](auto gb0) {
+                    withLeaf(pool[size_t(kb.kid1)], [&](auto gb1) {
+                        withArith(kb.arith, gb0, gb1, [&](auto gb) {
+                            withArith(nd.arith, ga, gb, emitOut);
+                        });
+                    });
+                });
+            });
+            return;
+        }
+        if (fusableLeaf(kb) && ka.kind == ExprKind::Arith &&
+            fusableLeaf(pool[size_t(ka.kid0)]) &&
+            fusableLeaf(pool[size_t(ka.kid1)])) {
+            withLeaf(kb, [&](auto gb) {
+                withLeaf(pool[size_t(ka.kid0)], [&](auto ga0) {
+                    withLeaf(pool[size_t(ka.kid1)], [&](auto ga1) {
+                        withArith(ka.arith, ga0, ga1, [&](auto ga) {
+                            withArith(nd.arith, ga, gb, emitOut);
+                        });
+                    });
+                });
+            });
+            return;
+        }
         // Constant left operand: evaluate the right kid into out and
-        // apply the constant in place (shape: 1 - disc).
-        if (pool[size_t(nd.kid0)].kind == ExprKind::Const &&
-            pool[size_t(nd.kid1)].kind != ExprKind::Const) {
-            const double c = pool[size_t(nd.kid0)].literalNum;
-            numericNode(pool, nd.kid1, sel, n, out);
+        // apply the constant in place (shape: 1 - <expr>).
+        if (ka.kind == ExprKind::Const && kb.kind != ExprKind::Const) {
+            const double c = ka.literalNum;
+            numericNode(pool, nd.kid1, sel, n, out, base);
             switch (nd.arith) {
               case ArithOp::Add:
                 for (size_t i = 0; i < n; ++i)
@@ -696,11 +870,11 @@ numericNode(const Pool &pool, int32_t ni, const uint32_t *sel, size_t n,
             }
             return;
         }
-        numericNode(pool, nd.kid0, sel, n, out);
+        numericNode(pool, nd.kid0, sel, n, out, base);
         // Constant right operand: fold into the accumulate pass, no
-        // scratch buffer (common shape: price * (1 - disc)).
-        if (pool[size_t(nd.kid1)].kind == ExprKind::Const) {
-            const double c = pool[size_t(nd.kid1)].literalNum;
+        // scratch buffer.
+        if (kb.kind == ExprKind::Const) {
+            const double c = kb.literalNum;
             switch (nd.arith) {
               case ArithOp::Add:
                 for (size_t i = 0; i < n; ++i)
@@ -727,7 +901,7 @@ numericNode(const Pool &pool, int32_t ni, const uint32_t *sel, size_t n,
             return;
         }
         std::vector<double> rhs(n);
-        numericNode(pool, nd.kid1, sel, n, rhs.data());
+        numericNode(pool, nd.kid1, sel, n, rhs.data(), base);
         switch (nd.arith) {
           case ArithOp::Add:
             for (size_t i = 0; i < n; ++i)
@@ -751,25 +925,36 @@ numericNode(const Pool &pool, int32_t ni, const uint32_t *sel, size_t n,
       case ExprKind::CaseWhen: {
         // Split the selection by the condition, evaluate each branch
         // only on its rows, and scatter back by position.
-        std::vector<uint32_t> tsel(sel, sel + n);
+        std::vector<uint32_t> tsel;
+        if (sel) {
+            tsel.assign(sel, sel + n);
+        } else {
+            tsel.resize(n);
+            std::iota(tsel.begin(), tsel.end(), uint32_t(base));
+        }
         filterNode(pool, nd.kid0, tsel);
+        const auto rowAt = [sel, base](size_t i) {
+            return sel ? sel[i] : uint32_t(base + i);
+        };
         std::vector<uint32_t> esel, tpos, epos;
         esel.reserve(n - tsel.size());
         epos.reserve(n - tsel.size());
         tpos.reserve(tsel.size());
         size_t j = 0;
         for (size_t i = 0; i < n; ++i) {
-            if (j < tsel.size() && tsel[j] == sel[i]) {
+            if (j < tsel.size() && tsel[j] == rowAt(i)) {
                 tpos.push_back(uint32_t(i));
                 ++j;
             } else {
-                esel.push_back(sel[i]);
+                esel.push_back(rowAt(i));
                 epos.push_back(uint32_t(i));
             }
         }
         std::vector<double> tv(tsel.size()), ev(esel.size());
-        numericNode(pool, nd.kid1, tsel.data(), tsel.size(), tv.data());
-        numericNode(pool, nd.kid2, esel.data(), esel.size(), ev.data());
+        numericNode(pool, nd.kid1, tsel.data(), tsel.size(), tv.data(),
+                    0);
+        numericNode(pool, nd.kid2, esel.data(), esel.size(), ev.data(),
+                    0);
         for (size_t i = 0; i < tpos.size(); ++i)
             out[tpos[i]] = tv[i];
         for (size_t i = 0; i < epos.size(); ++i)
@@ -777,24 +962,32 @@ numericNode(const Pool &pool, int32_t ni, const uint32_t *sel, size_t n,
         return;
       }
       case ExprKind::YearOf:
-        numericNode(pool, nd.kid0, sel, n, out);
+        numericNode(pool, nd.kid0, sel, n, out, base);
         for (size_t i = 0; i < n; ++i)
             out[i] = double(yearOfDays(int64_t(out[i])));
         return;
       case ExprKind::SubstrInt: {
         const int64_t *codes = nd.colv->ints().data();
         const double *vals = nd.dictValue.data();
-        for (size_t i = 0; i < n; ++i)
-            out[i] = vals[size_t(codes[sel[i]])];
+        forRows(sel, n, base, [codes, vals, out](size_t i, uint32_t r) {
+            out[i] = vals[size_t(codes[r])];
+        });
         return;
       }
       default: {
         // Boolean expression in numeric context: 1.0 / 0.0.
-        std::vector<uint32_t> bsel(sel, sel + n);
+        std::vector<uint32_t> bsel;
+        if (sel) {
+            bsel.assign(sel, sel + n);
+        } else {
+            bsel.resize(n);
+            std::iota(bsel.begin(), bsel.end(), uint32_t(base));
+        }
         filterNode(pool, ni, bsel);
         size_t j = 0;
         for (size_t i = 0; i < n; ++i) {
-            const bool hit = j < bsel.size() && bsel[j] == sel[i];
+            const uint32_t r = sel ? sel[i] : uint32_t(base + i);
+            const bool hit = j < bsel.size() && bsel[j] == r;
             out[i] = hit ? 1.0 : 0.0;
             j += hit;
         }
@@ -952,7 +1145,15 @@ BoundExpr::evalNumericSel(const uint32_t *sel, size_t n,
                           double *out) const
 {
     if (root_ >= 0 && n > 0)
-        numericNode(pool_, root_, sel, n, out);
+        numericNode(pool_, root_, sel, n, out, 0);
+}
+
+void
+BoundExpr::evalNumericRange(size_t begin, size_t count,
+                            double *out) const
+{
+    if (root_ >= 0 && count > 0)
+        numericNode(pool_, root_, nullptr, count, out, begin);
 }
 
 std::vector<uint32_t>
@@ -973,9 +1174,7 @@ evalColumn(const ExprPtr &e, const Chunk &chunk, const std::string &name,
     ColumnVector out = ColumnVector::doubles(name);
     const size_t n = chunk.rows();
     out.doubles().resize(n);
-    std::vector<uint32_t> sel(n);
-    std::iota(sel.begin(), sel.end(), 0u);
-    be.evalNumericSel(sel.data(), n, out.doubles().data());
+    be.evalNumericRange(0, n, out.doubles().data());
     return out;
 }
 

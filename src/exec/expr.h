@@ -153,10 +153,18 @@ class BoundExpr
 
     /**
      * Vectorized numeric evaluation: out[i] = value at row sel[i],
-     * for i in [0, n). `sel` must be strictly increasing.
+     * for i in [0, n). `sel` must be strictly increasing. A null
+     * `sel` means the dense rows [0, n) — the indirection-free path.
      */
     void evalNumericSel(const uint32_t *sel, size_t n,
                         double *out) const;
+
+    /**
+     * Dense numeric evaluation over rows [begin, begin+count) — no
+     * selection-vector indirection; this is the morsel executor's
+     * per-range entry point and what evalColumn uses.
+     */
+    void evalNumericRange(size_t begin, size_t count, double *out) const;
 
     int size() const { return size_; }
 

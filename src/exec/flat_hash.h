@@ -4,17 +4,24 @@
  *
  * Both tables key on a caller-computed 64-bit hash (multi-column keys
  * are packed into the hash by the caller; see executor.cc) and store
- * inline 8/12-byte slots in a power-of-two array probed linearly —
- * no per-entry heap nodes, no bucket pointer chases, no modulo.
- * Hash collisions between *distinct* keys are resolved by the caller:
- * FlatMultiMap consumers re-verify key equality per match, and
- * FlatGroupMap takes an equality callback.
+ * inline slots in a power-of-two array probed linearly — no per-entry
+ * heap nodes, no bucket pointer chases, no modulo. Hash collisions
+ * between *distinct* keys are resolved by the caller: FlatMultiMap
+ * consumers re-verify key equality per match, and FlatGroupMap takes
+ * an equality callback.
  *
- * These replace std::unordered_multimap (hash join build side) and
- * std::unordered_map over heap-allocated std::vector<int64_t> keys
- * (hash aggregation), the per-row allocation + pointer-chase shapes
- * that the Sirin & Ailamaki micro-architectural analysis identifies
- * as the dominant stall sources in row-at-a-time engines.
+ * Memory-boundedness notes (the Sirin & Ailamaki micro-architectural
+ * analysis: OLAP engines stall on memory, not compute):
+ *
+ *  - FlatMultiMap stores the *first* payload for a hash inline in the
+ *    slot, so the common unique-key probe costs exactly one random
+ *    cache-line fetch; only duplicate hashes chase into the entry
+ *    pool (insertion-ordered, so probe output stays deterministic).
+ *  - Both tables expose `prefetch(hash)`, the hook for the batched
+ *    hash→prefetch→probe pipelining the executor and the wall-clock
+ *    benchmarks run (compute a batch of hashes, issue all prefetches,
+ *    then probe — by the time the first probe executes, its slot line
+ *    is in flight, hiding DRAM latency behind the batch).
  */
 
 #ifndef DBSENS_EXEC_FLAT_HASH_H
@@ -49,10 +56,18 @@ flatSlotIndex(uint64_t hash, uint64_t mask)
 }
 
 /**
+ * Batch width for hash→prefetch→probe pipelining. 16 in-flight
+ * prefetches roughly matches the line-fill-buffer depth of current
+ * x86/ARM cores; larger batches stop helping and start evicting.
+ */
+inline constexpr size_t kFlatHashProbeBatch = 16;
+
+/**
  * Multimap from 64-bit hashes to uint32 payloads (hash-join build
- * side: payload = build-side row index). Duplicate hashes chain
- * through an entry pool and replay in insertion order, so probe
- * output order is deterministic (ascending build row).
+ * side: payload = build-side row index). The first payload for a
+ * hash lives inline in the slot; duplicate hashes chain through an
+ * entry pool and replay in insertion order, so probe output order is
+ * deterministic (ascending build row).
  */
 class FlatMultiMap
 {
@@ -67,8 +82,9 @@ class FlatMultiMap
         mask_ = cap - 1;
         slots_.assign(cap, Slot{});
         entries_.clear();
-        entries_.reserve(n);
+        entries_.reserve(n / 2);
         used_ = 0;
+        count_ = 0;
     }
 
     void
@@ -77,17 +93,39 @@ class FlatMultiMap
         if ((used_ + 1) * 4 > (mask_ + 1) * 3)
             grow();
         const size_t s = findSlot(hash);
-        const int32_t e = int32_t(entries_.size());
-        entries_.push_back(Entry{value, -1});
         Slot &sl = slots_[s];
-        if (sl.head < 0) {
+        ++count_;
+        if (sl.more == kEmptySlot) {
             sl.hash = hash;
-            sl.head = sl.tail = e;
+            sl.val0 = value;
+            sl.more = kEndChain;
             ++used_;
-        } else {
-            entries_[size_t(sl.tail)].next = e;
-            sl.tail = e;
+            return;
         }
+        const int32_t e = int32_t(entries_.size());
+        entries_.push_back(Entry{value, kEndChain, e});
+        if (sl.more == kEndChain) {
+            sl.more = e;
+        } else {
+            Entry &head = entries_[size_t(sl.more)];
+            entries_[size_t(head.tail)].next = e;
+            head.tail = e;
+        }
+    }
+
+    /** Prefetch the slot line for `hash` (read). Issue a batch of
+     * these before the matching forEachMatch calls. */
+    void
+    prefetch(uint64_t hash) const
+    {
+        __builtin_prefetch(&slots_[flatSlotIndex(hash, mask_)], 0, 1);
+    }
+
+    /** Prefetch the slot line for `hash` for writing (build side). */
+    void
+    prefetchForInsert(uint64_t hash) const
+    {
+        __builtin_prefetch(&slots_[flatSlotIndex(hash, mask_)], 1, 1);
     }
 
     /**
@@ -101,10 +139,12 @@ class FlatMultiMap
         size_t i = flatSlotIndex(hash, mask_);
         while (true) {
             const Slot &sl = slots_[i];
-            if (sl.head < 0)
+            if (sl.more == kEmptySlot)
                 return;
             if (sl.hash == hash) {
-                for (int32_t e = sl.head; e >= 0;
+                if (!fn(sl.val0))
+                    return;
+                for (int32_t e = sl.more; e >= 0;
                      e = entries_[size_t(e)].next)
                     if (!fn(entries_[size_t(e)].value))
                         return;
@@ -114,26 +154,36 @@ class FlatMultiMap
         }
     }
 
-    size_t entryCount() const { return entries_.size(); }
+    /** Total inserted payloads (not distinct hashes). */
+    size_t entryCount() const { return count_; }
 
   private:
+    static constexpr int32_t kEmptySlot = -2; ///< slot unoccupied
+    static constexpr int32_t kEndChain = -1;  ///< no further entries
+
+    /** Exactly 16 bytes: four slots per cache line and (with the
+     * allocator's 16-byte alignment) no slot ever straddles a line,
+     * so the common unique-key probe is one random line fetch. */
     struct Slot
     {
         uint64_t hash = 0;
-        int32_t head = -1; ///< first entry index, -1 = empty slot
-        int32_t tail = -1;
+        uint32_t val0 = 0;         ///< first payload for this hash
+        int32_t more = kEmptySlot; ///< overflow chain head / markers
     };
+    /** Overflow-pool entry. `tail` is only meaningful on the chain's
+     * first entry (O(1) append without fattening the probed slot). */
     struct Entry
     {
         uint32_t value;
         int32_t next; ///< next entry with the same hash, -1 = end
+        int32_t tail; ///< chain tail (first-of-chain entries only)
     };
 
     size_t
     findSlot(uint64_t hash) const
     {
         size_t i = flatSlotIndex(hash, mask_);
-        while (slots_[i].head >= 0 && slots_[i].hash != hash)
+        while (slots_[i].more != kEmptySlot && slots_[i].hash != hash)
             i = (i + 1) & mask_;
         return i;
     }
@@ -148,10 +198,10 @@ class FlatMultiMap
         // Each occupied slot holds a distinct hash, so plain linear
         // reinsertion preserves the probe invariant.
         for (const Slot &sl : old) {
-            if (sl.head < 0)
+            if (sl.more == kEmptySlot)
                 continue;
             size_t i = flatSlotIndex(sl.hash, mask_);
-            while (slots_[i].head >= 0)
+            while (slots_[i].more != kEmptySlot)
                 i = (i + 1) & mask_;
             slots_[i] = sl;
         }
@@ -160,7 +210,8 @@ class FlatMultiMap
     std::vector<Slot> slots_;
     std::vector<Entry> entries_;
     uint64_t mask_ = 0;
-    uint64_t used_ = 0; ///< occupied slots (distinct hashes)
+    uint64_t used_ = 0;  ///< occupied slots (distinct hashes)
+    uint64_t count_ = 0; ///< total inserted payloads
 };
 
 /**
@@ -177,6 +228,13 @@ class FlatGroupMap
             flatHashCapacityFor(expected < 8 ? 8 : expected);
         mask_ = cap - 1;
         slots_.assign(cap, Slot{});
+    }
+
+    /** Prefetch the slot line for `hash` (group-probe pipelining). */
+    void
+    prefetch(uint64_t hash) const
+    {
+        __builtin_prefetch(&slots_[flatSlotIndex(hash, mask_)], 1, 1);
     }
 
     /**

@@ -1,0 +1,44 @@
+#include "exec/morsel.h"
+
+#include <numeric>
+
+namespace dbsens {
+
+std::vector<uint32_t>
+morselFilter(const BoundExpr &be, size_t nrows, WorkerPool *pool,
+             size_t morselRows)
+{
+    // Each morsel filters its own identity sub-selection; predicates
+    // are row-local, so concatenating the per-morsel survivors in
+    // morsel order reproduces the serial selection exactly.
+    auto parts = morselMap<std::vector<uint32_t>>(
+        pool, nrows, morselRows,
+        [&](size_t, size_t begin, size_t end) {
+            std::vector<uint32_t> sel(end - begin);
+            std::iota(sel.begin(), sel.end(), uint32_t(begin));
+            be.filterSel(sel);
+            return sel;
+        });
+    size_t total = 0;
+    for (const auto &p : parts)
+        total += p.size();
+    std::vector<uint32_t> out;
+    out.reserve(total);
+    for (const auto &p : parts)
+        out.insert(out.end(), p.begin(), p.end());
+    return out;
+}
+
+void
+morselEval(const BoundExpr &be, size_t nrows, double *out,
+           WorkerPool *pool, size_t morselRows)
+{
+    morselMap<char>(pool, nrows, morselRows,
+                    [&](size_t, size_t begin, size_t end) {
+                        be.evalNumericRange(begin, end - begin,
+                                            out + begin);
+                        return char(0);
+                    });
+}
+
+} // namespace dbsens

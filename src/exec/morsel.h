@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Morsel-driven parallel execution of the vectorized kernels.
+ *
+ * Work over a chunk is split into cache-sized row ranges ("morsels",
+ * after Leis et al.'s morsel-driven parallelism) dispatched to a
+ * WorkerPool; workers claim morsels dynamically, but every result
+ * lands in a slot indexed by morsel number and is merged *in morsel
+ * order*, so the output is identical for any worker count — including
+ * 1 — and across runs. Per-row outputs (filter selections, projected
+ * values) are bitwise identical to the serial kernels because each
+ * morsel runs the very same kernel over a sub-range; order-sensitive
+ * merges (floating-point partial sums) are deterministic by the
+ * fixed merge order, though not necessarily bitwise equal to a
+ * single serial accumulation — callers that need the serial FP sum
+ * must keep that reduction serial.
+ *
+ * The discrete-event simulation is never morselized: simulated
+ * clock, rng draws, and cache-feed touches all stay on the calling
+ * thread (DESIGN.md Section 12).
+ */
+
+#ifndef DBSENS_EXEC_MORSEL_H
+#define DBSENS_EXEC_MORSEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/worker_pool.h"
+#include "exec/expr.h"
+
+namespace dbsens {
+
+/**
+ * Rows per morsel. 32K rows ≈ 256 KB per 8-byte column — enough work
+ * to amortize dispatch, small enough that a morsel's working set
+ * sits in L2 and the pool load-balances skewed operators.
+ */
+inline constexpr size_t kDefaultMorselRows = 32 * 1024;
+
+/** Number of morsels covering `nrows`. */
+inline size_t
+morselCount(size_t nrows, size_t morselRows = kDefaultMorselRows)
+{
+    return morselRows == 0 ? 1 : (nrows + morselRows - 1) / morselRows;
+}
+
+/**
+ * Run per(morsel, begin, end) for every morsel covering [0, nrows)
+ * — on the pool when given, inline otherwise — and return the
+ * per-morsel results in morsel order.
+ */
+template <class State, class Per>
+std::vector<State>
+morselMap(WorkerPool *pool, size_t nrows, size_t morselRows, Per per)
+{
+    const size_t rows_per =
+        morselRows == 0 ? kDefaultMorselRows : morselRows;
+    const size_t nm = morselCount(nrows, rows_per);
+    std::vector<State> parts(nm);
+    auto run_one = [&](size_t m) {
+        const size_t begin = m * rows_per;
+        const size_t end =
+            begin + rows_per < nrows ? begin + rows_per : nrows;
+        parts[m] = per(m, begin, end);
+    };
+    if (pool && nm > 1) {
+        pool->runTasks(nm, run_one);
+    } else {
+        for (size_t m = 0; m < nm; ++m)
+            run_one(m);
+    }
+    return parts;
+}
+
+/**
+ * Morsel-parallel filter: evaluate `be` over [0, nrows) and return
+ * the selection vector of matching rows — bitwise identical to the
+ * serial filterSel over an identity selection, for any worker count.
+ */
+std::vector<uint32_t> morselFilter(const BoundExpr &be, size_t nrows,
+                                   WorkerPool *pool,
+                                   size_t morselRows = kDefaultMorselRows);
+
+/**
+ * Morsel-parallel dense numeric evaluation into out[0, nrows) —
+ * morsels write disjoint spans, so the output is bitwise identical
+ * to evalNumericRange(0, nrows, out) for any worker count.
+ */
+void morselEval(const BoundExpr &be, size_t nrows, double *out,
+                WorkerPool *pool,
+                size_t morselRows = kDefaultMorselRows);
+
+} // namespace dbsens
+
+#endif // DBSENS_EXEC_MORSEL_H

@@ -1,0 +1,574 @@
+#include "storage/encoded_column.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "core/logging.h"
+
+namespace dbsens {
+
+const char *
+encodingName(ColEncoding e)
+{
+    switch (e) {
+      case ColEncoding::Raw: return "raw";
+      case ColEncoding::Dict: return "dict";
+      case ColEncoding::BitPack: return "bitpack";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Bits needed to represent `maxCode` (0 for a constant column). */
+uint8_t
+bitsFor(uint64_t maxCode)
+{
+    uint8_t w = 0;
+    while (w < 64 && (maxCode >> w) != 0)
+        ++w;
+    return w;
+}
+
+uint64_t
+maskFor(uint8_t width)
+{
+    return width >= 64 ? ~uint64_t(0) : ((uint64_t(1) << width) - 1);
+}
+
+/** The scalar oracle's comparison, verbatim (exec evalB semantics). */
+bool
+cmpDouble(double a, EncCmp op, double b)
+{
+    switch (op) {
+      case EncCmp::Eq: return a == b;
+      case EncCmp::Ne: return a != b;
+      case EncCmp::Lt: return a < b;
+      case EncCmp::Le: return a <= b;
+      case EncCmp::Gt: return a > b;
+      case EncCmp::Ge: return a >= b;
+    }
+    return false;
+}
+
+/**
+ * Branchless in-place compaction, same shape as expr.cc's keepIf:
+ * unconditional store + predicated advance, with a dense fast path
+ * when the selection is contiguous (the identity vector case).
+ */
+template <class Pred>
+void
+compactSel(std::vector<uint32_t> &sel, Pred pred)
+{
+    const size_t n = sel.size();
+    if (n == 0)
+        return;
+    size_t out = 0;
+    uint32_t *s = sel.data();
+    if (size_t(s[n - 1]) - s[0] + 1 == n) {
+        const uint32_t base = s[0];
+        for (size_t i = 0; i < n; ++i) {
+            const uint32_t r = base + uint32_t(i);
+            s[out] = r;
+            out += pred(r) ? 1 : 0;
+        }
+    } else {
+        for (size_t i = 0; i < n; ++i) {
+            const uint32_t r = s[i];
+            s[out] = r;
+            out += pred(r) ? 1 : 0;
+        }
+    }
+    sel.resize(out);
+}
+
+/**
+ * Branchless code extraction: one unaligned 8-byte load covers any
+ * code of width <= 56 (bit offset within the byte is at most 7, so
+ * 7 + 56 bits fit the load). packCodes appends a padding word so the
+ * last code's load never reads past the allocation. Hot-loop
+ * replacement for codeAt: no cross-word branch, no per-row mask
+ * recompute — the multiply and two shifts pipeline.
+ */
+struct Unpack
+{
+    const uint8_t *bytes;
+    uint64_t width;
+    uint64_t mask;
+
+    uint64_t
+    operator()(uint64_t r) const
+    {
+        const uint64_t bitpos = r * width;
+        uint64_t wv;
+        std::memcpy(&wv, bytes + (bitpos >> 3), sizeof wv);
+        return (wv >> (bitpos & 7)) & mask;
+    }
+};
+
+} // namespace
+
+bool
+EncodedColumn::fastUnpackOk() const
+{
+    return width_ >= 1 && width_ <= 56 && !words_.empty();
+}
+
+// ------------------------------------------------------------- encoding
+
+void
+EncodedColumn::packCodes(const std::vector<uint64_t> &codes)
+{
+    n_ = codes.size();
+    if (width_ == 0)
+        return;
+    if (width_ == 64) {
+        words_ = codes;
+        return;
+    }
+    // One trailing padding word keeps Unpack's unaligned 8-byte load
+    // in bounds for the last code (packedBytes() excludes it).
+    words_.assign((n_ * width_ + 63) / 64 + 1, 0);
+    for (size_t i = 0; i < n_; ++i) {
+        const size_t bitpos = i * width_;
+        const size_t w = bitpos >> 6;
+        const size_t b = bitpos & 63;
+        words_[w] |= codes[i] << b;
+        if (b + width_ > 64)
+            words_[w + 1] |= codes[i] >> (64 - b);
+    }
+}
+
+uint64_t
+EncodedColumn::codeAt(size_t r) const
+{
+    if (width_ == 0)
+        return 0;
+    if (width_ == 64)
+        return words_[r];
+    const size_t bitpos = r * width_;
+    const size_t w = bitpos >> 6;
+    const size_t b = bitpos & 63;
+    uint64_t v = words_[w] >> b;
+    if (b + width_ > 64)
+        v |= words_[w + 1] << (64 - b);
+    return v & maskFor(width_);
+}
+
+EncodedColumn
+EncodedColumn::encodeInts(const std::vector<int64_t> &v, size_t dictMax)
+{
+    EncodedColumn c;
+    c.type_ = TypeId::Int64;
+    if (v.empty()) {
+        c.enc_ = ColEncoding::BitPack;
+        return c;
+    }
+
+    int64_t mn = v[0], mx = v[0];
+    for (int64_t x : v) {
+        mn = x < mn ? x : mn;
+        mx = x > mx ? x : mx;
+    }
+    // Frame-of-reference span in the unsigned domain (wraps correctly
+    // for the full-int64 case).
+    const uint64_t span = uint64_t(mx) - uint64_t(mn);
+    const uint8_t wBit = bitsFor(span);
+
+    // Dictionary candidate: first-appearance order, abandoned the
+    // moment it exceeds dictMax or can't beat frame-of-reference.
+    std::unordered_map<int64_t, uint32_t> index;
+    std::vector<int64_t> dict;
+    bool dictOk = true;
+    for (int64_t x : v) {
+        auto it = index.find(x);
+        if (it != index.end())
+            continue;
+        if (dict.size() >= dictMax) {
+            dictOk = false;
+            break;
+        }
+        index.emplace(x, uint32_t(dict.size()));
+        dict.push_back(x);
+    }
+    const uint8_t wDict =
+        dictOk ? bitsFor(dict.empty() ? 0 : dict.size() - 1) : 64;
+
+    std::vector<uint64_t> codes(v.size());
+    if (dictOk && wDict < wBit) {
+        c.enc_ = ColEncoding::Dict;
+        c.width_ = wDict;
+        c.dictInts_ = std::move(dict);
+        for (size_t i = 0; i < v.size(); ++i)
+            codes[i] = index.find(v[i])->second;
+    } else {
+        c.enc_ = ColEncoding::BitPack;
+        c.width_ = wBit;
+        c.ref_ = mn;
+        c.span_ = span;
+        for (size_t i = 0; i < v.size(); ++i)
+            codes[i] = uint64_t(v[i]) - uint64_t(mn);
+    }
+    c.packCodes(codes);
+    return c;
+}
+
+EncodedColumn
+EncodedColumn::encodeDoubles(const std::vector<double> &v, size_t dictMax)
+{
+    EncodedColumn c;
+    c.type_ = TypeId::Double;
+    if (v.empty()) {
+        c.enc_ = ColEncoding::Raw;
+        return c;
+    }
+
+    // Key the dictionary on the bit pattern so decode is bit-exact
+    // (-0.0 vs 0.0 keep their signs; distinct NaN payloads survive).
+    std::unordered_map<uint64_t, uint32_t> index;
+    std::vector<double> dict;
+    bool dictOk = true;
+    for (double x : v) {
+        const uint64_t key = std::bit_cast<uint64_t>(x);
+        auto it = index.find(key);
+        if (it != index.end())
+            continue;
+        if (dict.size() >= dictMax) {
+            dictOk = false;
+            break;
+        }
+        index.emplace(key, uint32_t(dict.size()));
+        dict.push_back(x);
+    }
+
+    if (!dictOk) {
+        // Dictionary overflow: Raw fallback behind the same interface.
+        c.enc_ = ColEncoding::Raw;
+        c.n_ = v.size();
+        c.rawDbls_ = v;
+        return c;
+    }
+
+    c.enc_ = ColEncoding::Dict;
+    c.width_ = bitsFor(dict.empty() ? 0 : dict.size() - 1);
+    c.dictDbls_ = std::move(dict);
+    std::vector<uint64_t> codes(v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        codes[i] = index.find(std::bit_cast<uint64_t>(v[i]))->second;
+    c.packCodes(codes);
+    return c;
+}
+
+uint64_t
+EncodedColumn::packedBytes() const
+{
+    // From the formula, not words_.size(): the Unpack padding word is
+    // an implementation artifact, not compressed payload.
+    const uint64_t packed =
+        width_ == 0 ? 0
+        : width_ == 64
+            ? uint64_t(n_) * 8
+            : (uint64_t(n_) * width_ + 63) / 64 * 8;
+    return packed + dictInts_.size() * 8 + dictDbls_.size() * 8 +
+           rawDbls_.size() * 8;
+}
+
+// --------------------------------------------------------------- decode
+
+int64_t
+EncodedColumn::intAt(size_t r) const
+{
+    if (type_ != TypeId::Int64)
+        panic("intAt on a non-Int64 encoded column");
+    if (enc_ == ColEncoding::Dict)
+        return dictInts_[size_t(codeAt(r))];
+    return int64_t(uint64_t(ref_) + codeAt(r));
+}
+
+double
+EncodedColumn::doubleAt(size_t r) const
+{
+    if (type_ != TypeId::Double)
+        panic("doubleAt on a non-Double encoded column");
+    if (enc_ == ColEncoding::Dict)
+        return dictDbls_[size_t(codeAt(r))];
+    return rawDbls_[r];
+}
+
+double
+EncodedColumn::numericAt(size_t r) const
+{
+    return type_ == TypeId::Double ? doubleAt(r) : double(intAt(r));
+}
+
+void
+EncodedColumn::gatherNumeric(const uint32_t *sel, size_t n, size_t base,
+                             double *out) const
+{
+    if (type_ == TypeId::Double && enc_ == ColEncoding::Raw) {
+        const double *d = rawDbls_.data();
+        if (sel)
+            for (size_t i = 0; i < n; ++i)
+                out[i] = d[sel[i]];
+        else
+            for (size_t i = 0; i < n; ++i)
+                out[i] = d[base + i];
+        return;
+    }
+    auto run = [&](auto code) {
+        if (enc_ == ColEncoding::Dict) {
+            if (type_ == TypeId::Double) {
+                const double *d = dictDbls_.data();
+                if (sel)
+                    for (size_t i = 0; i < n; ++i)
+                        out[i] = d[size_t(code(sel[i]))];
+                else
+                    for (size_t i = 0; i < n; ++i)
+                        out[i] = d[size_t(code(base + i))];
+            } else {
+                const int64_t *d = dictInts_.data();
+                if (sel)
+                    for (size_t i = 0; i < n; ++i)
+                        out[i] = double(d[size_t(code(sel[i]))]);
+                else
+                    for (size_t i = 0; i < n; ++i)
+                        out[i] = double(d[size_t(code(base + i))]);
+            }
+            return;
+        }
+        // BitPack ints: frame-of-reference decode inline.
+        const uint64_t ref = uint64_t(ref_);
+        if (sel)
+            for (size_t i = 0; i < n; ++i)
+                out[i] = double(int64_t(ref + code(sel[i])));
+        else
+            for (size_t i = 0; i < n; ++i)
+                out[i] = double(int64_t(ref + code(base + i)));
+    };
+    if (fastUnpackOk())
+        run(Unpack{reinterpret_cast<const uint8_t *>(words_.data()),
+                   width_, maskFor(width_)});
+    else
+        run([this](uint64_t r) { return codeAt(size_t(r)); });
+}
+
+void
+EncodedColumn::gatherInts(const uint32_t *sel, size_t n, size_t base,
+                          int64_t *out) const
+{
+    if (type_ != TypeId::Int64)
+        panic("gatherInts on a non-Int64 encoded column");
+    auto run = [&](auto code) {
+        if (enc_ == ColEncoding::Dict) {
+            const int64_t *d = dictInts_.data();
+            if (sel)
+                for (size_t i = 0; i < n; ++i)
+                    out[i] = d[size_t(code(sel[i]))];
+            else
+                for (size_t i = 0; i < n; ++i)
+                    out[i] = d[size_t(code(base + i))];
+            return;
+        }
+        const uint64_t ref = uint64_t(ref_);
+        if (sel)
+            for (size_t i = 0; i < n; ++i)
+                out[i] = int64_t(ref + code(sel[i]));
+        else
+            for (size_t i = 0; i < n; ++i)
+                out[i] = int64_t(ref + code(base + i));
+    };
+    if (fastUnpackOk())
+        run(Unpack{reinterpret_cast<const uint8_t *>(words_.data()),
+                   width_, maskFor(width_)});
+    else
+        run([this](uint64_t r) { return codeAt(size_t(r)); });
+}
+
+// --------------------------------------------- compressed predicates
+
+void
+EncodedColumn::filterCmp(EncCmp op, double literal,
+                         std::vector<uint32_t> &sel) const
+{
+    if (enc_ == ColEncoding::Dict) {
+        // |dict| oracle comparisons once, then a bit-packed stream of
+        // table lookups per row.
+        const size_t dsize = type_ == TypeId::Double ? dictDbls_.size()
+                                                     : dictInts_.size();
+        std::vector<uint8_t> match(dsize ? dsize : 1, 0);
+        for (size_t c = 0; c < dsize; ++c) {
+            const double v = type_ == TypeId::Double
+                                 ? dictDbls_[c]
+                                 : double(dictInts_[c]);
+            match[c] = cmpDouble(v, op, literal) ? 1 : 0;
+        }
+        const uint8_t *m = match.data();
+        if (fastUnpackOk()) {
+            const Unpack unp{
+                reinterpret_cast<const uint8_t *>(words_.data()),
+                width_, maskFor(width_)};
+            compactSel(sel,
+                       [unp, m](uint32_t r) { return m[unp(r)] != 0; });
+        } else {
+            compactSel(sel, [this, m](uint32_t r) {
+                return m[codeAt(r)] != 0;
+            });
+        }
+        return;
+    }
+    if (enc_ == ColEncoding::Raw) {
+        const double *d = rawDbls_.data();
+        compactSel(sel, [d, op, literal](uint32_t r) {
+            return cmpDouble(d[r], op, literal);
+        });
+        return;
+    }
+    filterBitPack(op, literal, sel);
+}
+
+void
+EncodedColumn::filterBitPack(EncCmp op, double literal,
+                             std::vector<uint32_t> &sel) const
+{
+    // The oracle compares double(value) against the literal. Over the
+    // code domain c in [0, span_], cd(c) = double(int64(ref + c)) is
+    // monotone non-decreasing (int64-to-double rounding preserves
+    // order), so every comparison op reduces to a code range — found
+    // by binary search using the oracle's own double comparisons, so
+    // rounding at |v| > 2^53 agrees by construction.
+    if (std::isnan(literal)) {
+        if (op != EncCmp::Ne)
+            sel.clear();
+        return;
+    }
+
+    const auto cd = [this](uint64_t c) {
+        return double(int64_t(uint64_t(ref_) + c));
+    };
+    // Smallest code whose decoded double satisfies pred; ok=false if
+    // none does. Works for span_ == UINT64_MAX (no span_+1 anywhere).
+    const auto lowerBound = [&](auto pred) -> std::pair<uint64_t, bool> {
+        if (!pred(cd(span_)))
+            return {0, false};
+        uint64_t lo = 0, hi = span_;
+        while (lo < hi) {
+            const uint64_t mid = lo + (hi - lo) / 2;
+            if (pred(cd(mid)))
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        return {lo, true};
+    };
+
+    const auto [gec, geok] =
+        lowerBound([literal](double x) { return x >= literal; });
+    const auto [gtc, gtok] =
+        lowerBound([literal](double x) { return x > literal; });
+
+    enum class Mode { None, All, In, Out };
+    Mode mode = Mode::None;
+    uint64_t lo = 0, hi = 0;
+    switch (op) {
+      case EncCmp::Ge:
+        if (geok) {
+            mode = Mode::In;
+            lo = gec;
+            hi = span_;
+        }
+        break;
+      case EncCmp::Gt:
+        if (gtok) {
+            mode = Mode::In;
+            lo = gtc;
+            hi = span_;
+        }
+        break;
+      case EncCmp::Lt:
+        if (!geok)
+            mode = Mode::All;
+        else if (gec > 0) {
+            mode = Mode::In;
+            lo = 0;
+            hi = gec - 1;
+        }
+        break;
+      case EncCmp::Le:
+        if (!gtok)
+            mode = Mode::All;
+        else if (gtc > 0) {
+            mode = Mode::In;
+            lo = 0;
+            hi = gtc - 1;
+        }
+        break;
+      case EncCmp::Eq:
+      case EncCmp::Ne: {
+        // Codes decoding exactly to the literal: [gec, gtc-1].
+        bool empty = !geok;
+        uint64_t hiIncl = span_;
+        if (!empty && gtok)
+            empty = gtc == 0 ? true : (hiIncl = gtc - 1, false);
+        if (!empty && gec > hiIncl)
+            empty = true;
+        if (!empty) {
+            mode = Mode::In;
+            lo = gec;
+            hi = hiIncl;
+        }
+        if (op == EncCmp::Ne) {
+            if (mode == Mode::None)
+                mode = Mode::All;
+            else if (lo == 0 && hi == span_)
+                mode = Mode::None;
+            else
+                mode = Mode::Out;
+        }
+        break;
+      }
+    }
+
+    switch (mode) {
+      case Mode::None:
+        sel.clear();
+        return;
+      case Mode::All:
+        return;
+      case Mode::In: {
+        const uint64_t base = lo, width = hi - lo;
+        if (fastUnpackOk()) {
+            const Unpack unp{
+                reinterpret_cast<const uint8_t *>(words_.data()),
+                width_, maskFor(width_)};
+            compactSel(sel, [unp, base, width](uint32_t r) {
+                return unp(r) - base <= width;
+            });
+        } else {
+            compactSel(sel, [this, base, width](uint32_t r) {
+                return codeAt(r) - base <= width;
+            });
+        }
+        return;
+      }
+      case Mode::Out: {
+        const uint64_t base = lo, width = hi - lo;
+        if (fastUnpackOk()) {
+            const Unpack unp{
+                reinterpret_cast<const uint8_t *>(words_.data()),
+                width_, maskFor(width_)};
+            compactSel(sel, [unp, base, width](uint32_t r) {
+                return unp(r) - base > width;
+            });
+        } else {
+            compactSel(sel, [this, base, width](uint32_t r) {
+                return codeAt(r) - base > width;
+            });
+        }
+        return;
+      }
+    }
+}
+
+} // namespace dbsens

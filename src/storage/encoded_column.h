@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Compressed column encodings with predicate evaluation directly on
+ * the compressed data — the storage half of the memory-boundedness
+ * pass (ROADMAP item 5; Sirin & Ailamaki's micro-architectural OLAP
+ * analysis: analytical kernels stall on DRAM bandwidth, so shrinking
+ * bytes-per-row is worth more than shaving instructions).
+ *
+ * Two real encodings plus a fallback:
+ *
+ *  - **Dict**: low-cardinality columns (int64 or double) store a
+ *    first-appearance-ordered dictionary of distinct values and
+ *    bit-packed codes. Predicates evaluate by precomputing a
+ *    per-code match table (|dict| comparisons total), then streaming
+ *    only ceil(log2 |dict|) bits per row.
+ *  - **BitPack**: integer columns store frame-of-reference codes
+ *    (v - min) bit-packed at the width of the value span. Compare
+ *    predicates translate the literal into the code domain once and
+ *    run as an unsigned range test per row — no decode.
+ *  - **Raw**: high-cardinality doubles (dictionary overflow) fall
+ *    back to the uncompressed vector behind the same interface.
+ *
+ * Comparison semantics exactly match the scalar expression oracle
+ * (exec/expr.h): both sides are compared as doubles, including the
+ * precision loss of double(int64) for |v| > 2^53 and NaN literal
+ * behavior. The differential tests in tests/test_encoded_column.cc
+ * hold the compressed kernels to bit-exact agreement with that
+ * oracle. Survivor rows are decoded only on gather ("decode only
+ * surviving selection-vector entries").
+ */
+
+#ifndef DBSENS_STORAGE_ENCODED_COLUMN_H
+#define DBSENS_STORAGE_ENCODED_COLUMN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/value.h"
+
+namespace dbsens {
+
+/** Comparison ops for compressed predicates. Mirrors exec CmpOp's
+ * ordering exactly (expr.cc static_casts between the two). */
+enum class EncCmp : uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+/** Encoding chosen for a column. */
+enum class ColEncoding : uint8_t {
+    Raw,     ///< uncompressed fallback (high-cardinality doubles)
+    Dict,    ///< dictionary + bit-packed codes
+    BitPack, ///< frame-of-reference + bit-packed deltas
+};
+
+const char *encodingName(ColEncoding e);
+
+/**
+ * One immutable compressed column. Built from a raw vector; the
+ * encoder picks the cheapest encoding (see encodeInts/encodeDoubles).
+ */
+class EncodedColumn
+{
+  public:
+    /** Dictionary cutoff: beyond this many distinct values the
+     * encoder falls back (BitPack for ints, Raw for doubles). */
+    static constexpr size_t kDefaultDictMax = 1u << 12;
+
+    /** Encode an integer column: Dict when the distinct count is low
+     * enough AND codes narrower than frame-of-reference deltas,
+     * otherwise BitPack (which always applies, up to width 64). */
+    static EncodedColumn encodeInts(const std::vector<int64_t> &v,
+                                    size_t dictMax = kDefaultDictMax);
+
+    /** Encode a double column: Dict when low-cardinality, else Raw
+     * (dictionary-overflow fallback). */
+    static EncodedColumn encodeDoubles(const std::vector<double> &v,
+                                       size_t dictMax = kDefaultDictMax);
+
+    ColEncoding encoding() const { return enc_; }
+    TypeId type() const { return type_; }
+    size_t size() const { return n_; }
+    /** Bits per packed code (0 = constant column, 64 = full words). */
+    uint8_t bitWidth() const { return width_; }
+    /** Compressed footprint: packed words + dictionary/raw payload. */
+    uint64_t packedBytes() const;
+    /** Uncompressed footprint (8 bytes per row). */
+    uint64_t rawBytes() const { return uint64_t(n_) * 8; }
+
+    /** Decoded int64 at row r (Int64 columns only). */
+    int64_t intAt(size_t r) const;
+    /** Decoded double at row r (Double columns only). */
+    double doubleAt(size_t r) const;
+    /** Decoded numeric view at row r (the scalar-oracle access). */
+    double numericAt(size_t r) const;
+
+    /**
+     * Decode the selected rows: out[i] = numeric value at row
+     * (sel ? sel[i] : base + i), for i in [0, n).
+     */
+    void gatherNumeric(const uint32_t *sel, size_t n, size_t base,
+                       double *out) const;
+
+    /** Decode selected rows of an Int64 column into int64 values. */
+    void gatherInts(const uint32_t *sel, size_t n, size_t base,
+                    int64_t *out) const;
+
+    /**
+     * Shrink `sel` (strictly increasing row indices) in place to the
+     * rows where `double(value) op literal` holds — evaluated on the
+     * compressed form: a per-code match table for Dict, an unsigned
+     * code-range test for BitPack. Bit-exact with the scalar oracle's
+     * double comparison.
+     */
+    void filterCmp(EncCmp op, double literal,
+                   std::vector<uint32_t> &sel) const;
+
+  private:
+    EncodedColumn() = default;
+
+    uint64_t codeAt(size_t r) const;
+    /** Whether the branchless unaligned-load unpacker applies
+     * (1 <= width <= 56; see Unpack in encoded_column.cc). */
+    bool fastUnpackOk() const;
+    void packCodes(const std::vector<uint64_t> &codes);
+    void filterBitPack(EncCmp op, double literal,
+                       std::vector<uint32_t> &sel) const;
+
+    TypeId type_ = TypeId::Int64;
+    ColEncoding enc_ = ColEncoding::Raw;
+    size_t n_ = 0;
+    uint8_t width_ = 0;  ///< bits per packed code
+    int64_t ref_ = 0;    ///< frame-of-reference base (BitPack)
+    uint64_t span_ = 0;  ///< max code value (BitPack)
+    std::vector<uint64_t> words_;   ///< packed codes (Dict/BitPack)
+    std::vector<int64_t> dictInts_; ///< Dict payload (Int64)
+    std::vector<double> dictDbls_;  ///< Dict payload (Double)
+    std::vector<double> rawDbls_;   ///< Raw fallback payload
+};
+
+} // namespace dbsens
+
+#endif // DBSENS_STORAGE_ENCODED_COLUMN_H

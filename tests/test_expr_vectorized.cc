@@ -237,6 +237,56 @@ TEST(ExprVectorized, NumericSelOnSparseSelections)
     }
 }
 
+TEST(ExprVectorized, NumericRangeDenseMatchesScalar)
+{
+    // The dense path (null selection vector, arbitrary base) powers
+    // evalColumn and the morsel kernels; it takes the fused-arithmetic
+    // fast paths, which must stay bit-identical to the scalar tree.
+    Rng rng(0xDE27E);
+    for (int trial = 0; trial < 300; ++trial) {
+        const size_t rows = 1 + rng.uniform(600);
+        TestData td = makeData(rng, rows);
+        auto e = genNum(rng, int(rng.uniform(4)) + 1);
+        BoundExpr be(e, td.chunk, &td.params);
+
+        const size_t begin = rng.uniform(uint32_t(rows));
+        const size_t count = 1 + rng.uniform(uint32_t(rows - begin));
+        std::vector<double> out(count, -42.0);
+        be.evalNumericRange(begin, count, out.data());
+        for (size_t i = 0; i < count; ++i) {
+            const double want = be.evalNumeric(begin + i);
+            ASSERT_TRUE(bitIdentical(out[i], want))
+                << "trial " << trial << " begin " << begin << " i "
+                << i;
+        }
+    }
+}
+
+TEST(ExprVectorized, FusedArithShapes)
+{
+    // The explicit fusion patterns: leaf⊗leaf, leaf⊗(leaf⊗leaf), and
+    // (leaf⊗leaf)⊗leaf, over column/constant leaves of both types.
+    Rng rng(2);
+    TestData td = makeData(rng, 777);
+    const std::vector<ExprPtr> shapes = {
+        mul(col("d1"), col("d2")),
+        add(col("i1"), lit(3.5)),
+        sub(lit(1.0), col("d1")),
+        mul(col("d2"), sub(lit(1.0), col("d1"))),
+        add(sub(col("i2"), col("i1")), col("d2")),
+        divide(col("d1"), col("d2")), // zero divisors guard to 0
+        divide(lit(1.0), sub(col("d2"), col("d2"))),
+    };
+    for (size_t s = 0; s < shapes.size(); ++s) {
+        BoundExpr be(shapes[s], td.chunk, &td.params);
+        ColumnVector cv = evalColumn(shapes[s], td.chunk, "x",
+                                     &td.params);
+        for (size_t r = 0; r < td.chunk.rows(); ++r)
+            ASSERT_TRUE(bitIdentical(cv.doubleAt(r), be.evalNumeric(r)))
+                << "shape " << s << " row " << r;
+    }
+}
+
 TEST(ExprVectorized, KnownPredicates)
 {
     // A few hand-written shapes with hand-checkable results, so a

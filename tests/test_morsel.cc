@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Determinism tests for the morsel-driven parallel executor: the
+ * WorkerPool itself, the morsel kernels (bitwise-identical output for
+ * worker counts 1/2/8 vs the serial kernels), and end-to-end TPC-H
+ * profiling — results, per-operator profiles, and sampled cache
+ * traces must be identical with the pool on and off, because the
+ * discrete-event simulation replays those profiles and any divergence
+ * would make simulated timings depend on host thread scheduling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "core/random.h"
+#include "core/worker_pool.h"
+#include "engine/query_runner.h"
+#include "exec/morsel.h"
+#include "workloads/tpch/tpch_gen.h"
+#include "workloads/tpch/tpch_queries.h"
+
+namespace dbsens {
+namespace {
+
+// ------------------------------------------------------- WorkerPool
+
+TEST(WorkerPool, RunsEveryTaskExactlyOnce)
+{
+    WorkerPool pool(4);
+    EXPECT_EQ(pool.workers(), 4u);
+    for (size_t ntasks : {size_t(0), size_t(1), size_t(3),
+                          size_t(64), size_t(1000)}) {
+        std::vector<std::atomic<int>> hits(ntasks ? ntasks : 1);
+        for (auto &h : hits)
+            h = 0;
+        pool.runTasks(ntasks, [&](size_t i) { hits[i]++; });
+        for (size_t i = 0; i < ntasks; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+    }
+}
+
+TEST(WorkerPool, ReusableAcrossManyBatches)
+{
+    WorkerPool pool(3);
+    std::atomic<uint64_t> sum{0};
+    uint64_t expect = 0;
+    for (int batch = 0; batch < 50; ++batch) {
+        const size_t n = 1 + size_t(batch % 7) * 10;
+        pool.runTasks(n, [&](size_t i) {
+            sum.fetch_add(i + 1, std::memory_order_relaxed);
+        });
+        expect += n * (n + 1) / 2;
+    }
+    EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(WorkerPool, SingleWorkerRunsInline)
+{
+    WorkerPool pool(1);
+    std::vector<size_t> order;
+    pool.runTasks(10, [&](size_t i) { order.push_back(i); });
+    std::vector<size_t> expect(10);
+    std::iota(expect.begin(), expect.end(), size_t(0));
+    EXPECT_EQ(order, expect); // no threads: strictly in order
+}
+
+// --------------------------------------------------- morsel kernels
+
+Chunk
+morselTestChunk(size_t rows)
+{
+    Rng rng(0x305E1);
+    Chunk c;
+    c.addColumn(ColumnVector::ints("a"));
+    c.addColumn(ColumnVector::doubles("b"));
+    auto &a = c.byName("a").ints();
+    auto &b = c.byName("b").doubles();
+    for (size_t i = 0; i < rows; ++i) {
+        a.push_back(int64_t(rng.range(-100, 100)));
+        b.push_back(rng.uniformReal() * 10.0);
+    }
+    return c;
+}
+
+TEST(Morsel, FilterIdenticalAcrossWorkerCounts)
+{
+    const size_t rows = 100000;
+    Chunk chunk = morselTestChunk(rows);
+    auto pred = land(ge(col("a"), lit(int64_t(-20))),
+                     lt(col("b"), lit(7.5)));
+    BoundExpr be(pred, chunk, nullptr);
+
+    const auto serial = morselFilter(be, rows, nullptr);
+    {
+        // vs the plain kernel too, not just vs itself
+        auto direct = filterRows(pred, chunk);
+        ASSERT_EQ(serial, direct);
+    }
+    for (unsigned w : {1u, 2u, 8u}) {
+        WorkerPool pool(w);
+        // Small morsels force many tasks per worker.
+        const auto got = morselFilter(be, rows, &pool, 1024);
+        ASSERT_EQ(got, serial) << "workers " << w;
+    }
+}
+
+TEST(Morsel, EvalIdenticalAcrossWorkerCounts)
+{
+    const size_t rows = 65537; // deliberately not morsel-aligned
+    Chunk chunk = morselTestChunk(rows);
+    auto expr = mul(col("b"), sub(lit(1.0), divide(col("a"), lit(200.0))));
+    BoundExpr be(expr, chunk, nullptr);
+
+    std::vector<double> serial(rows);
+    be.evalNumericRange(0, rows, serial.data());
+    for (unsigned w : {1u, 2u, 8u}) {
+        WorkerPool pool(w);
+        std::vector<double> got(rows, -1.0);
+        morselEval(be, rows, got.data(), &pool, 4096);
+        ASSERT_EQ(std::memcmp(got.data(), serial.data(),
+                              rows * sizeof(double)),
+                  0)
+            << "workers " << w;
+    }
+}
+
+// ------------------------------------------- executor determinism
+
+double
+digestOf(const Chunk &out)
+{
+    double digest = 0;
+    for (size_t c = 0; c < out.columnCount(); ++c) {
+        const auto &col = out.col(c);
+        if (col.type() == TypeId::String)
+            continue;
+        for (size_t r = 0; r < out.rows(); ++r)
+            digest += col.numericAt(r);
+    }
+    return digest;
+}
+
+void
+expectProfilesIdentical(const QueryProfile &a, const QueryProfile &b)
+{
+    ASSERT_EQ(a.ops.size(), b.ops.size());
+    for (size_t i = 0; i < a.ops.size(); ++i) {
+        const OpProfile &x = a.ops[i], &y = b.ops[i];
+        EXPECT_EQ(x.label, y.label);
+        EXPECT_EQ(x.instructions, y.instructions) << x.label;
+        EXPECT_EQ(x.cacheTouches, y.cacheTouches) << x.label;
+        EXPECT_EQ(x.rowsIn, y.rowsIn) << x.label;
+        EXPECT_EQ(x.rowsOut, y.rowsOut) << x.label;
+        EXPECT_EQ(x.memRequired, y.memRequired) << x.label;
+    }
+}
+
+TEST(MorselExecutor, TpchProfilesIdenticalWithWorkersOnAndOff)
+{
+    auto db = tpch::generate(1, 19920101);
+    WorkerPool pool(3);
+    // Covers filter+agg (Q1), scan filter (Q6), semi join (Q4), and
+    // outer join + distinct agg (Q13) — every morselized operator.
+    for (int q : {1, 4, 6, 13}) {
+        auto plan = tpch::query(q);
+        Chunk serial_out, morsel_out;
+        ProfiledQuery serial = profileQuery(*db, *plan, {.maxdop = 8},
+                                            nullptr, nullptr,
+                                            &serial_out);
+        ProfiledQuery morsel = profileQuery(*db, *plan, {.maxdop = 8},
+                                            nullptr, nullptr,
+                                            &morsel_out, &pool);
+        EXPECT_EQ(serial_out.rows(), morsel_out.rows()) << "Q" << q;
+        // Result cells bitwise identical, not just digest-close: the
+        // morsel kernels run the same per-row op order on disjoint
+        // spans, and FP reductions stay serial.
+        for (size_t c = 0; c < serial_out.columnCount(); ++c) {
+            const auto &sc = serial_out.col(c);
+            const auto &mc = morsel_out.col(c);
+            if (sc.type() == TypeId::String)
+                continue;
+            for (size_t r = 0; r < serial_out.rows(); ++r) {
+                const double sv = sc.numericAt(r);
+                const double mv = mc.numericAt(r);
+                ASSERT_EQ(std::memcmp(&sv, &mv, sizeof sv), 0)
+                    << "Q" << q << " col " << c << " row " << r;
+            }
+        }
+        EXPECT_EQ(digestOf(serial_out), digestOf(morsel_out))
+            << "Q" << q;
+        expectProfilesIdentical(serial.profile, morsel.profile);
+        EXPECT_EQ(serial.signature, morsel.signature) << "Q" << q;
+    }
+}
+
+TEST(MorselExecutor, RepeatedParallelRunsIdentical)
+{
+    auto db = tpch::generate(1, 19920101);
+    auto plan = tpch::query(6);
+    WorkerPool pool(8);
+    double first = 0;
+    uint64_t first_rows = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+        Chunk out;
+        profileQuery(*db, *plan, {.maxdop = 8}, nullptr, nullptr, &out,
+                     &pool);
+        const double d = digestOf(out);
+        if (rep == 0) {
+            first = d;
+            first_rows = out.rows();
+        } else {
+            EXPECT_EQ(d, first) << "rep " << rep;
+            EXPECT_EQ(out.rows(), first_rows);
+        }
+    }
+}
+
+} // namespace
+} // namespace dbsens
