@@ -157,6 +157,19 @@ toJson(const TuneResult &r)
     for (int t = 0; t < kNumTenants; ++t)
         tenants.push(toJson(r.finalState.tenant[t]));
     j["final_state"] = std::move(tenants);
+    Json probes = Json::array();
+    for (const TuneProbeDelta &p : r.probeDeltas) {
+        Json e = Json::object();
+        e["move"] = Json(p.move.name());
+        e["delta"] = Json(p.delta);
+        Json rates = Json::array();
+        for (int t = 0; t < kNumTenants; ++t)
+            rates.push(Json(p.rateDelta[t]));
+        e["rate_delta"] = std::move(rates);
+        e["measured"] = Json(p.measured);
+        probes.push(std::move(e));
+    }
+    j["probe"] = std::move(probes);
     return j;
 }
 
@@ -241,6 +254,8 @@ toJson(const OltpRunResult &r)
     j["fault"] = toJson(r.fault);
     j["tune"] = toJson(r.tune);
     j["waits"] = toJson(r.waits);
+    if (r.attribution.enabled)
+        j["obs"] = r.attribution.toJson();
     Json series = Json::object();
     series["ssd_read_Bps"] = toJson(r.ssdRead);
     series["ssd_write_Bps"] = toJson(r.ssdWrite);

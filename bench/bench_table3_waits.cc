@@ -24,6 +24,11 @@ main(int argc, char **argv)
         RunConfig cfg = oltpConfig();
         cfg.cores = 32;
         cfg.llcMb = 40;
+        // Blame attribution + telemetry ride along in the report
+        // (this bench is the CI report-schema smoke, so the obs
+        // section is schema-checked and regression-diffed here).
+        cfg.obs.enabled = true;
+        cfg.obs.sampleEvery = milliseconds(10);
         return runOltp(wl, cfg);
     };
     note("running TPC-E SF=5000...");

@@ -16,9 +16,11 @@ PAPER_BENCHES="bench_table2_sizes bench_table3_waits \
     bench_fig9_faults bench_pitfalls bench_ablation"
 
 # bench_fig10_autopilot runs three full HTAP arms plus an oracle
-# sweep; --small keeps the script's runtime sane. Drop the flag for
-# the paper-scale arbitration numbers.
+# sweep, and bench_fig11_attribution runs two (static + probing);
+# --small keeps the script's runtime sane. Drop the flag for the
+# paper-scale numbers.
 FIG10="bench_fig10_autopilot --small"
+FIG11="bench_fig11_attribution --small"
 
 if [ "${1:-}" = "wallclock" ]; then
     build/bench/bench_wallclock > BENCH_wallclock.json \
@@ -50,6 +52,14 @@ if [ "${1:-}" = "report" ]; then
     else
         echo "BENCH FAILED: bench_fig10_autopilot" >&2
     fi
+    echo ""
+    echo "##### bench_fig11_attribution (--small --json) #####"
+    # shellcheck disable=SC2086
+    if build/bench/$FIG11 --json reports/bench_fig11_attribution.json; then
+        collected="$collected reports/bench_fig11_attribution.json"
+    else
+        echo "BENCH FAILED: bench_fig11_attribution" >&2
+    fi
     # shellcheck disable=SC2086
     build/tools/report_tool merge BENCH_report.json $collected
     exit 0
@@ -64,3 +74,7 @@ echo ""
 echo "##### build/bench/$FIG10 #####"
 # shellcheck disable=SC2086
 build/bench/$FIG10 || echo "BENCH FAILED: bench_fig10_autopilot"
+echo ""
+echo "##### build/bench/$FIG11 #####"
+# shellcheck disable=SC2086
+build/bench/$FIG11 || echo "BENCH FAILED: bench_fig11_attribution"

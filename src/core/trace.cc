@@ -77,6 +77,23 @@ TraceRecorder::instant(int track, const char *category, std::string name,
     record(std::move(e));
 }
 
+void
+TraceRecorder::counter(const char *category, std::string name,
+                       SimTime at_ns, double value)
+{
+    Event e;
+    e.phase = 'C';
+    e.track = kObsTrack;
+    e.category = category;
+    e.name = std::move(name);
+    e.startNs = at_ns + offsetNs_;
+    e.durNs = 0;
+    e.hasArg = true;
+    e.argKey = "value";
+    e.argValue = value;
+    record(std::move(e));
+}
+
 Json
 TraceRecorder::toJson() const
 {
@@ -96,6 +113,7 @@ TraceRecorder::toJson() const
     };
     events.push(thread_name(kEngineTrack, "engine (waits/grants/wal)"));
     events.push(thread_name(kIoTrack, "ssd"));
+    events.push(thread_name(kObsTrack, "telemetry (slo)"));
 
     for (const auto &e : events_) {
         Json j = Json::object();

@@ -41,6 +41,7 @@ class TraceRecorder
     static constexpr int kEngineTrack = 0; ///< waits, grants, WAL
     static constexpr int kIoTrack = 1;     ///< SSD channel activity
     static constexpr int kTuneTrack = 2;   ///< autopilot decisions
+    static constexpr int kObsTrack = 3;    ///< telemetry counters/SLO
     static constexpr int kFirstQueryTrack = 16; ///< per-query tracks
 
     /** Currently active recorder, or nullptr (tracing off). */
@@ -69,6 +70,13 @@ class TraceRecorder
     void instant(int track, const char *category, std::string name,
                  SimTime at_ns);
 
+    /**
+     * A counter sample ("C" event): Perfetto renders consecutive
+     * samples of the same `name` as a filled resource timeline.
+     */
+    void counter(const char *category, std::string name, SimTime at_ns,
+                 double value);
+
     /** Allocate a fresh per-query track id. */
     int
     newQueryTrack()
@@ -87,7 +95,7 @@ class TraceRecorder
   private:
     struct Event
     {
-        char phase;       // 'X' or 'i'
+        char phase;       // 'X', 'i', or 'C'
         int track;
         const char *category;
         std::string name;

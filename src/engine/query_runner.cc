@@ -100,18 +100,24 @@ stageWorker(SimRun &run, WaitGroup &wg, double compute_ns,
 
 Task<void>
 stageIo(SimRun &run, WaitGroup &wg, uint64_t read_bytes,
-        uint64_t write_bytes)
+        uint64_t write_bytes, int tenant)
 {
     uint64_t r = read_bytes;
     while (r > 0) {
         const uint64_t chunk = std::min(r, kIoChunk);
+        const SimTime io_start = run.loop.now();
         co_await run.ssd.read(chunk);
+        if (run.obs)
+            run.obs->chargeIo(tenant, false, io_start, run.loop.now());
         r -= chunk;
     }
     uint64_t w = write_bytes;
     while (w > 0) {
         const uint64_t chunk = std::min(w, kIoChunk);
+        const SimTime io_start = run.loop.now();
         co_await run.ssd.write(chunk);
+        if (run.obs)
+            run.obs->chargeIo(tenant, true, io_start, run.loop.now());
         w -= chunk;
     }
     wg.done();
@@ -189,6 +195,11 @@ replayQuery(SimRun &run, const QueryProfile &profile, ReplayParams params)
     TraceRecorder *tr = TraceRecorder::active();
     const int track = tr ? tr->newQueryTrack() : 0;
     const SimTime query_start = run.loop.now();
+    if (run.obs)
+        run.obs->beginQuery(params.tenant,
+                            profile.name.empty() ? "query"
+                                                 : profile.name,
+                            query_start);
     for (const auto &op : profile.ops) {
         const StageCost c = stageCost(op, params, mem_share);
         if (c.computeNs + c.stallNs <= 0 && c.ioRead + c.ioWrite == 0)
@@ -241,7 +252,8 @@ replayQuery(SimRun &run, const QueryProfile &profile, ReplayParams params)
         }
         if (c.ioRead + c.ioWrite > 0) {
             wg.add();
-            run.loop.spawn(stageIo(run, wg, c.ioRead, c.ioWrite));
+            run.loop.spawn(
+                stageIo(run, wg, c.ioRead, c.ioWrite, params.tenant));
         }
         run.instructionsRetired +=
             c.computeNs * calib::kBaseIpc * calib::kCoreFreqHz / 1e9;
@@ -251,6 +263,11 @@ replayQuery(SimRun &run, const QueryProfile &profile, ReplayParams params)
                          run.loop.now(), "workers", double(c.workers));
     }
     ++run.queriesCompleted;
+    if (run.obs) {
+        run.obs->endQuery(params.tenant, run.loop.now());
+        run.obs->recordLatency(params.tenant,
+                               run.loop.now() - query_start);
+    }
     if (tr)
         tr->complete(track, "query",
                      profile.name.empty() ? "query" : profile.name,

@@ -6,6 +6,9 @@
 
 namespace dbsens {
 
+// SimRun's member `obs` shadows the namespace inside member bodies.
+namespace obsv = ::dbsens::obs;
+
 namespace {
 
 /** Background lazy writer: flush dirty pages through the SSD. It
@@ -35,6 +38,40 @@ deadlockMonitor(SimRun &run, SimDuration interval)
         co_await SimDelay(run.loop, interval);
         run.locks.detectDeadlocks();
     }
+}
+
+/** Observability sampling tick: series, SLOs, trace counters. Pure
+ * reads over the stats registry — cannot perturb the simulation. */
+Task<void>
+obsTicker(SimRun &run, SimDuration every)
+{
+    while (run.running()) {
+        co_await SimDelay(run.loop, every);
+        run.obs->tick(run.loop.now());
+    }
+}
+
+/** Blame class an engine wait class maps to. */
+obsv::BlameClass
+blameClassOf(WaitClass c)
+{
+    switch (c) {
+    case WaitClass::Lock:
+    case WaitClass::Deadlock:
+        return obsv::BlameClass::LockWait;
+    case WaitClass::Latch:
+    case WaitClass::PageLatch:
+        return obsv::BlameClass::LatchWait;
+    case WaitClass::PageIoLatch:
+        return obsv::BlameClass::SsdRead;
+    case WaitClass::WriteLog:
+        return obsv::BlameClass::WalFlush;
+    case WaitClass::Recovery:
+        return obsv::BlameClass::Recovery;
+    case WaitClass::kCount:
+        break;
+    }
+    return obsv::BlameClass::Idle;
 }
 
 } // namespace
@@ -125,6 +162,66 @@ SimRun::SimRun(Database &db, const RunConfig &cfg)
     stats.gauge("run.olap_useful_ns", [this] { return olapUsefulNs; },
                 "nominal OLAP instruction-ns completed");
 
+    if (cfg.obs.enabled) {
+        obs = std::make_unique<obsv::RunObserver>(
+            cfg.obs, stats, [this] { return loop.now(); });
+        // Blame taps. The scheduler reports every finished burst; the
+        // wait accumulator reports every finished wait. Waits flow
+        // through `waits` only on the OLTP transaction path (analytic
+        // replay charges SSD time directly in stageIo), so the hook
+        // charges the OLTP tenant.
+        cpu.setBlameSink([this](int tenant, SimTime enq, SimTime grant,
+                                SimTime end, double compute_ns,
+                                double stall_ns) {
+            obs->ledger().cpuBurst(tenant, enq, grant, end, compute_ns,
+                                   stall_ns);
+        });
+        waits.setBlameHook([this](WaitClass c, SimDuration ns) {
+            obs->ledger().chargeDur(kTenantOltp, blameClassOf(c),
+                                    double(ns));
+        });
+        // Chrome-trace counter tracks (resource timelines).
+        obs->addCounter("bufferpool_used_mb", "bufferpool.used_bytes",
+                        1.0 / (1 << 20));
+        obs->addCounter("ssd_read_backlog_us", "ssd.read_backlog_ns",
+                        1e-3);
+        obs->addCounter("ssd_write_backlog_us", "ssd.write_backlog_ns",
+                        1e-3);
+        obs->addCounter("grant_reserved_mb", "grants.reserved_bytes",
+                        1.0 / (1 << 20));
+        obs->addCounter("grant_waiters", "grants.waiters");
+        for (int t = 0; t < CoreScheduler::kMaxTenants; ++t)
+            obs->addCounter("tenant" + std::to_string(t) +
+                                "_lease_cores",
+                            "sched.tenant" + std::to_string(t) +
+                                ".lease_cores");
+        obs->addCounter("busy_cores", "sched.busy_cores");
+        // Tagged per-tenant / per-resource series. Rates are scaled
+        // to per-second regardless of the sampling period.
+        const double per_s = 1e9 / double(cfg.obs.sampleEvery);
+        auto &hub = obs->hub();
+        hub.addRate("t0.txn_per_s", "run.txns_committed", per_s);
+        hub.addRate("t1.olap_useful_ms_per_s", "run.olap_useful_ns",
+                    per_s * 1e-6);
+        hub.addRate("t0.cpu_ms_per_s", "sched.tenant0.busy_ns",
+                    per_s * 1e-6);
+        hub.addRate("t1.cpu_ms_per_s", "sched.tenant1.busy_ns",
+                    per_s * 1e-6);
+        hub.addRate("ssd.read_mb_per_s", "ssd.read_bytes",
+                    per_s / (1 << 20));
+        hub.addRate("ssd.write_mb_per_s", "ssd.write_bytes",
+                    per_s / (1 << 20));
+        hub.addRate("dram.mb_per_s", "dram.total_bytes",
+                    per_s / (1 << 20));
+        hub.addRate("llc.miss_per_s", "llc.misses", per_s);
+        hub.addLevel("bufferpool.used_mb", "bufferpool.used_bytes",
+                     1.0 / (1 << 20));
+        hub.addLevel("grants.reserved_mb", "grants.reserved_bytes",
+                     1.0 / (1 << 20));
+        hub.addLevel("t0.lease_cores", "sched.tenant0.lease_cores");
+        hub.addLevel("t1.lease_cores", "sched.tenant1.lease_cores");
+    }
+
     if (auto *tr = TraceRecorder::active())
         tr->beginRun("run cores=" + std::to_string(cfg.cores) +
                      " llcMb=" + std::to_string(cfg.llcMb) +
@@ -202,6 +299,12 @@ SimRun::startSampling(double byte_scale)
     sampler.addStat(stats, "run.queries_completed", 1.0,
                     "queries_per_s");
     sampler.start();
+    if (obs) {
+        // Measurement window opens here (the harness calls this right
+        // after completeWarmup()).
+        obs->beginWindow(loop.now());
+        loop.spawn(obsTicker(*this, cfg_.obs.sampleEvery));
+    }
 }
 
 void
@@ -226,6 +329,10 @@ SimRun::runToCompletion()
     const SimTime end = cfg_.warmup + cfg_.duration;
     loop.runUntil(end);
     sampler.stop();
+    // Freeze before the drain: post-window work (and, after a crash,
+    // nothing at all) must not shift the blame shares.
+    if (obs)
+        obs->freeze(loop.now());
     if (crashed_) {
         // The crash stopped the loop mid-window: volatile state is
         // gone, so there is nothing to drain — recovery takes over.

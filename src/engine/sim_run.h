@@ -21,6 +21,7 @@
 #include "engine/database.h"
 #include "engine/grant_gate.h"
 #include "hw/cache_feed.h"
+#include "obs/observer.h"
 #include "sim/core_scheduler.h"
 #include "sim/dram_model.h"
 #include "sim/event_loop.h"
@@ -103,6 +104,12 @@ struct RunConfig
      */
     TuneConfig tune;
     /**
+     * Observability: resource-blame attribution, per-tenant series,
+     * and SLO tracking (disabled ⇒ no RunObserver is built, no taps
+     * installed, no tick scheduled — runs stay byte-identical).
+     */
+    obs::ObsConfig obs;
+    /**
      * First transaction id minus one. The harness advances this across
      * crash phases so a resumed run never reuses an earlier phase's
      * ids — the WAL history and the recovery reconciliation key
@@ -143,6 +150,9 @@ class SimRun
     /** Closed-loop resource controller; null unless cfg.tune.enabled
      * (sessions consult it for MAXDOP caps and grant budgets). */
     std::unique_ptr<Autopilot> autopilot;
+    /** Observability engine; null unless cfg.obs.enabled. Every
+     * instrumentation site is gated on this pointer. */
+    std::unique_ptr<obs::RunObserver> obs;
     /**
      * Unified per-run stats registry: every component above registers
      * gauges here under a dotted prefix (`bufferpool.misses`,

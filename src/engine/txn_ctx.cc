@@ -14,7 +14,8 @@ constexpr double kLatchHoldNs = 650.0;
 
 } // namespace
 
-TxnCtx::TxnCtx(SimRun &run, TxnId id) : run_(run), id_(id)
+TxnCtx::TxnCtx(SimRun &run, TxnId id)
+    : run_(run), id_(id), begin_(run.loop.now())
 {
     missMark_ = run_.feed.misses();
     charge(oltpcost::kTxnOverheadInstr * 0.5); // begin path
@@ -298,6 +299,9 @@ TxnCtx::commit()
     run_.locks.releaseAll(id_);
     run_.noteTxnEnd(id_);
     ++run_.txnsCommitted;
+    if (run_.obs)
+        run_.obs->recordLatency(kTenantOltp,
+                                run_.loop.now() - begin_);
     co_return true;
 }
 

@@ -103,6 +103,7 @@ class TxnCtx
 
     SimRun &run_;
     TxnId id_;
+    SimTime begin_ = 0; ///< start time (SLO latency accounting)
     double pendingInstr_ = 0;
     uint64_t missMark_ = 0;
     uint64_t logLsn_ = 0;

@@ -29,6 +29,13 @@ runOltpOn(OltpWorkload &workload, Database &db, RunConfig cfg)
         cfg.sampleInterval = kDefaultOltpInterval;
     if (cfg.warmup == 0)
         cfg.warmup = kDefaultOltpWarmup;
+    if (cfg.obs.enabled) {
+        // Session counts drive the blame ledger's makespan; fill them
+        // from the workload unless the bench already pinned them.
+        for (int t = 0; t < obs::kBlameTenants; ++t)
+            if (cfg.obs.sessions[t] == 0)
+                cfg.obs.sessions[t] = workload.tenantSessions(t);
+    }
 
     // Crash–recovery runs capture logical WAL records into a journal
     // owned here — outside any SimRun — so it survives the crash.
@@ -78,6 +85,8 @@ runOltpOn(OltpWorkload &workload, Database &db, RunConfig cfg)
             olap_useful += run.olapUsefulNs;
             if (run.autopilot)
                 res.tune = run.autopilot->result();
+            if (run.obs)
+                res.attribution.merge(run.obs->finish());
             if (run.sampler.hasSeries("ssd_read_Bps"))
                 appendSeries(res.ssdRead,
                              run.sampler.series("ssd_read_Bps"));
@@ -117,6 +126,11 @@ runOltpOn(OltpWorkload &workload, Database &db, RunConfig cfg)
         const RecoveryStats rec = replayWal(db, journal, durable_lsn);
         res.recoveryMs += toSeconds(rec.simNs) * 1e3;
         res.waits.add(WaitClass::Recovery, rec.simNs);
+        if (cfg.obs.enabled) {
+            // Restart replay stalls every session of every tenant.
+            for (int t = 0; t < obs::kBlameTenants; ++t)
+                res.attribution.addRecovery(t, double(rec.simNs));
+        }
         res.fault.redoRecords += rec.redoApplied;
         res.fault.undoRecords += rec.undoApplied;
 

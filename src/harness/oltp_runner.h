@@ -15,6 +15,7 @@
 
 #include <memory>
 
+#include "obs/observer.h"
 #include "tune/tune.h"
 #include "workloads/workload.h"
 
@@ -56,6 +57,9 @@ struct OltpRunResult
     double olapUsefulPerSec = 0;
     /** Autopilot summary (enabled=false when the run had none). */
     TuneResult tune;
+    /** Resource-blame attribution, merged across crash phases
+     * (enabled=false when the run had no observer). */
+    obs::AttributionResult attribution;
 };
 
 /** Default OLTP run length (simulated; steady-state window). */

@@ -198,7 +198,8 @@ CoreScheduler::pickFreeCoreFor(int tenant) const
 }
 
 double
-CoreScheduler::burstDurationNs(int core, const CpuWork &work) const
+CoreScheduler::burstDurationNs(int core, const CpuWork &work,
+                               double *dram_infl_ns) const
 {
     double dur = work.totalNs();
     const int sib = siblingOf(core);
@@ -209,13 +210,18 @@ CoreScheduler::burstDurationNs(int core, const CpuWork &work) const
         // Per-thread throughput share is combined/2 of a solo thread.
         dur *= 2.0 / combined;
     }
+    if (dram_infl_ns)
+        *dram_infl_ns = 0;
     // A burst can never move its DRAM bytes faster than the socket's
     // achievable bandwidth.
     if (work.dramBytes > 0) {
         const double min_ns =
             work.dramBytes / calib::kDramBwPerSocket * 1e9;
-        if (min_ns > dur)
+        if (min_ns > dur) {
+            if (dram_infl_ns)
+                *dram_infl_ns = min_ns - dur;
             dur = min_ns;
+        }
     }
     return dur;
 }
@@ -223,10 +229,13 @@ CoreScheduler::burstDurationNs(int core, const CpuWork &work) const
 Task<void>
 CoreScheduler::consume(CpuWork work)
 {
+    const SimTime enqueue = loop_.now();
     const int core = co_await CoreAcquire(*this, work.tenant);
+    const SimTime grant = loop_.now();
     lastGrantedCore_ = core;
     cores_[core].stallFraction = work.stallFraction();
-    const double dur = burstDurationNs(core, work);
+    double dram_infl = 0;
+    const double dur = burstDurationNs(core, work, &dram_infl);
     busyNs_ += dur;
     cores_[core].busyNs += dur;
     socketBusyNs_[socketOf(core)] += dur;
@@ -236,6 +245,9 @@ CoreScheduler::consume(CpuWork work)
     if (dram_ && work.dramBytes > 0)
         dram_->charge(socketOf(core), work.dramBytes);
     co_await SimDelay(loop_, SimDuration(dur));
+    if (blame_)
+        blame_(work.tenant, enqueue, grant, loop_.now(),
+               work.computeNs, work.stallNs + dram_infl);
     releaseCore(core);
 }
 

@@ -1,5 +1,7 @@
 #include "sim/ssd_model.h"
 
+#include <algorithm>
+
 #include "core/fault.h"
 #include "core/stats.h"
 #include "core/trace.h"
@@ -103,6 +105,20 @@ SsdModel::registerStats(StatsRegistry &reg, const std::string &prefix) const
               [this] { return double(readOps_); }, "read requests");
     reg.gauge(prefix + ".write_ops",
               [this] { return double(writeOps_); }, "write requests");
+    // Channel backlog: how far the virtual clock is ahead of now, i.e.
+    // the queueing delay a request issued this instant would see.
+    reg.gauge(prefix + ".read_backlog_ns",
+              [this] {
+                  return double(std::max<SimTime>(
+                      0, readFree_ - loop_.now()));
+              },
+              "read-channel queueing delay for a new request");
+    reg.gauge(prefix + ".write_backlog_ns",
+              [this] {
+                  return double(std::max<SimTime>(
+                      0, writeFree_ - loop_.now()));
+              },
+              "write-channel queueing delay for a new request");
 }
 
 } // namespace dbsens

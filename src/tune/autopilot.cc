@@ -198,6 +198,15 @@ Autopilot::result() const
     r.score = lastScore_;
     r.finalState = state_;
     r.trajectoryDigest = digest_;
+    for (const ProbeResult &p : policy_->rankedProbes()) {
+        TuneProbeDelta d;
+        d.move = p.move;
+        d.delta = p.delta;
+        for (int t = 0; t < kNumTenants; ++t)
+            d.rateDelta[t] = p.rateDelta[t];
+        d.measured = p.measured;
+        r.probeDeltas.push_back(d);
+    }
     return r;
 }
 

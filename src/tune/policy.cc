@@ -1,5 +1,6 @@
 #include "tune/policy.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace dbsens {
@@ -20,11 +21,42 @@ ProbeAndShiftPolicy::ProbeAndShiftPolicy(const ResourceArbiter &arb,
 }
 
 void
-ProbeAndShiftPolicy::blendEwma(double score)
+ProbeAndShiftPolicy::blendEwma(const EpochMetrics &m)
 {
-    ewma_ = haveEwma_ ? kEwmaAlpha * score + (1.0 - kEwmaAlpha) * ewma_
-                      : score;
+    if (haveEwma_) {
+        ewma_ = kEwmaAlpha * m.score + (1.0 - kEwmaAlpha) * ewma_;
+        for (int t = 0; t < kNumTenants; ++t)
+            rateEwma_[t] = kEwmaAlpha * m.rate[t] +
+                           (1.0 - kEwmaAlpha) * rateEwma_[t];
+    } else {
+        ewma_ = m.score;
+        for (int t = 0; t < kNumTenants; ++t)
+            rateEwma_[t] = m.rate[t];
+    }
     haveEwma_ = true;
+}
+
+std::vector<ProbeResult>
+ProbeAndShiftPolicy::rankedProbes() const
+{
+    std::vector<ProbeResult> out;
+    for (const auto &kv : probeAccum_) {
+        const ProbeAccum &a = kv.second;
+        if (a.count == 0)
+            continue;
+        ProbeResult r;
+        r.move = a.move;
+        r.delta = a.deltaSum / double(a.count);
+        for (int t = 0; t < kNumTenants; ++t)
+            r.rateDelta[t] = a.rateSum[t] / double(a.count);
+        r.measured = true;
+        out.push_back(r);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const ProbeResult &a, const ProbeResult &b) {
+                         return a.delta > b.delta;
+                     });
+    return out;
 }
 
 KnobState
@@ -109,18 +141,29 @@ ProbeAndShiftPolicy::onEpoch(const EpochMetrics &m)
             label_ = "baseline";
             return base_;
         }
-        blendEwma(m.score);
+        blendEwma(m);
         return startProbe();
 
-      case Mode::Probe:
+      case Mode::Probe: {
         // m scored the probe epoch of probe_.current().
         ++probes_;
-        probe_.record(m.score - ewma_);
+        const TuneMove probed = *probe_.current();
+        double rate_delta[kNumTenants];
+        for (int t = 0; t < kNumTenants; ++t)
+            rate_delta[t] = m.rate[t] - rateEwma_[t];
+        probe_.record(m.score - ewma_, rate_delta);
+        ProbeAccum &acc = probeAccum_[probed.name()];
+        acc.move = probed;
+        acc.deltaSum += m.score - ewma_;
+        for (int t = 0; t < kNumTenants; ++t)
+            acc.rateSum[t] += rate_delta[t];
+        ++acc.count;
         if (const TuneMove *mv = probe_.current()) {
             label_ = "probe:" + mv->name();
             return arb_.applied(base_, *mv);
         }
         return startShift();
+      }
 
       case Mode::Trial: {
         // Guardrail: commit only when the trial epoch clears the
@@ -134,7 +177,7 @@ ProbeAndShiftPolicy::onEpoch(const EpochMetrics &m)
             // Re-level the baseline toward the new state. Blending
             // (not assignment) keeps an outlier-high trial epoch from
             // setting a bar the state's true score can never clear.
-            blendEwma(m.score);
+            blendEwma(m);
             // A shift that paid usually pays again: keep pushing the
             // same direction until it stops clearing the margin.
             KnobState again = base_;
@@ -151,7 +194,7 @@ ProbeAndShiftPolicy::onEpoch(const EpochMetrics &m)
       }
 
       case Mode::Hold:
-        blendEwma(m.score);
+        blendEwma(m);
         if (++holdEpochs_ >= holdLimit_)
             return startProbe();
         label_ = "hold";

@@ -71,6 +71,14 @@ class TuningPolicy
     virtual int probes() const { return 0; }
     virtual int shifts() const { return 0; }
     virtual int rollbacks() const { return 0; }
+
+    /** Most recent probing pass ranked best-first (empty for
+     * policies that never probe). */
+    virtual std::vector<ProbeResult>
+    rankedProbes() const
+    {
+        return {};
+    }
 };
 
 /** Hold one fixed state forever. */
@@ -119,6 +127,15 @@ class ProbeAndShiftPolicy : public TuningPolicy
     /** Probe results of the most recent probing pass (reporting). */
     const SensitivityProbe &probe() const { return probe_; }
 
+    /**
+     * Probe measurements averaged over every pass of the run, ranked
+     * best mean delta first. Single probe epochs are noisy (drift in
+     * the analytical pipeline shows up as a score delta); averaging
+     * across passes is what makes the ranking usable as a
+     * sensitivity ground truth (bench_fig11_attribution).
+     */
+    std::vector<ProbeResult> rankedProbes() const override;
+
     /** Epochs spent holding before sensitivities are re-probed. A
      * probe pass costs one epoch per feasible move, so re-probing
      * often keeps the climb going on short runs while the hold still
@@ -134,7 +151,16 @@ class ProbeAndShiftPolicy : public TuningPolicy
     KnobState startProbe();
     KnobState startShift();
     KnobState nextCandidateOrHold();
-    void blendEwma(double score);
+    void blendEwma(const EpochMetrics &m);
+
+    /** Per-move running sums across every probe pass of the run. */
+    struct ProbeAccum
+    {
+        TuneMove move;
+        double deltaSum = 0;
+        double rateSum[kNumTenants] = {0, 0};
+        int count = 0;
+    };
 
     const ResourceArbiter &arb_;
     TuneConfig cfg_;
@@ -142,7 +168,9 @@ class ProbeAndShiftPolicy : public TuningPolicy
     SensitivityProbe probe_;
     Mode mode_ = Mode::Baseline;
     double ewma_ = 0;
+    double rateEwma_[kNumTenants] = {0, 0};
     bool haveEwma_ = false;
+    std::map<std::string, ProbeAccum> probeAccum_;
     std::vector<ProbeResult> candidates_;
     size_t cand_ = 0;
     TuneMove trialMove_;

@@ -11,8 +11,11 @@ SensitivityProbe::begin(std::vector<TuneMove> moves)
 {
     results_.clear();
     results_.reserve(moves.size());
-    for (TuneMove &m : moves)
-        results_.push_back(ProbeResult{m, 0, false});
+    for (TuneMove &m : moves) {
+        ProbeResult r;
+        r.move = m;
+        results_.push_back(r);
+    }
     next_ = 0;
 }
 
@@ -23,11 +26,14 @@ SensitivityProbe::current() const
 }
 
 void
-SensitivityProbe::record(double delta)
+SensitivityProbe::record(double delta, const double *rate_delta)
 {
     if (next_ >= results_.size())
         panic("SensitivityProbe::record past the end of the pass");
     results_[next_].delta = delta;
+    if (rate_delta)
+        for (int t = 0; t < kNumTenants; ++t)
+            results_[next_].rateDelta[t] = rate_delta[t];
     results_[next_].measured = true;
     ++next_;
 }

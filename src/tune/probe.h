@@ -29,6 +29,10 @@ struct ProbeResult
 {
     TuneMove move;
     double delta = 0;
+    /** Per-tenant progress-rate delta of the probe epoch vs the
+     * baseline EWMA — separates a tenant's own gain from the
+     * combined-score externality of throttling its neighbor. */
+    double rateDelta[kNumTenants] = {0, 0};
     bool measured = false;
 };
 
@@ -42,8 +46,10 @@ class SensitivityProbe
     /** The move to perturb next, or nullptr when the pass is done. */
     const TuneMove *current() const;
 
-    /** Record the measured delta for current() and advance. */
-    void record(double delta);
+    /** Record the measured delta for current() and advance; the
+     * optional rate_delta is a kNumTenants-long per-tenant rate
+     * delta array. */
+    void record(double delta, const double *rate_delta = nullptr);
 
     bool done() const { return next_ >= results_.size(); }
 

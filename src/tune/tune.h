@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/sim_time.h"
 
@@ -175,6 +176,19 @@ struct TuneMove
     }
 };
 
+/** One probed move and its measured score delta (TuneResult copy of
+ * tune/probe.h's ProbeResult, kept header-local so harness code can
+ * consume probe rankings without the policy headers). */
+struct TuneProbeDelta
+{
+    TuneMove move;
+    double delta = 0;
+    /** Per-tenant rate delta of the probe epoch vs baseline (the
+     * tenant's own gain, free of cross-tenant score externality). */
+    double rateDelta[kNumTenants] = {0, 0};
+    bool measured = false;
+};
+
 /** Harness-facing summary of one run's tuning activity. */
 struct TuneResult
 {
@@ -188,6 +202,10 @@ struct TuneResult
     KnobState finalState;
     /** FNV-1a fold of every applied knob change (determinism check). */
     uint64_t trajectoryDigest = 0;
+    /** Most recent probing pass, ranked best-delta first (empty for
+     * policies that never probe). Ground truth for validating blame
+     * attribution's predicted sensitivity ranking (fig11). */
+    std::vector<TuneProbeDelta> probeDeltas;
 };
 
 } // namespace dbsens

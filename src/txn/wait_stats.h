@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "core/sim_time.h"
@@ -57,6 +58,19 @@ class WaitStats
         auto &e = entries_[size_t(c)];
         e.totalNs += ns;
         e.count += 1;
+        if (blameHook_)
+            blameHook_(c, ns);
+    }
+
+    /**
+     * Observability tap: invoked on every add() (but not merge()) so
+     * the blame ledger sees individual waits as they finish. Empty by
+     * default — wait accounting costs one extra bool test.
+     */
+    void
+    setBlameHook(std::function<void(WaitClass, SimDuration)> hook)
+    {
+        blameHook_ = std::move(hook);
     }
 
     SimDuration totalNs(WaitClass c) const
@@ -107,6 +121,7 @@ class WaitStats
     };
 
     std::array<Entry, size_t(WaitClass::kCount)> entries_{};
+    std::function<void(WaitClass, SimDuration)> blameHook_;
 };
 
 } // namespace dbsens

@@ -112,8 +112,12 @@ HtapWorkload::analyticalSession(SimRun &run, Database &db)
                 // underflows — and the query replays with the memory
                 // it actually got, spilling if the budget shrank.
                 uint64_t granted = 0;
+                const SimTime grant_start = run.loop.now();
                 const bool ok = co_await run.grants.acquire(
                     params.grantBytes, &granted);
+                if (run.obs)
+                    run.obs->chargeGrantWait(kTenantOlap, grant_start,
+                                             run.loop.now());
                 if (!ok) {
                     ++run.queriesShed;
                     continue;

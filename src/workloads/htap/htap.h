@@ -38,6 +38,12 @@ class HtapWorkload : public tpce::TpceWorkload
 
     int sessionCount() const override { return sessions_ + 1; }
 
+    int
+    tenantSessions(int tenant) const override
+    {
+        return tenant == 0 ? sessions_ : 1;
+    }
+
     void startSessions(SimRun &run, Database &db,
                        uint64_t seed) override;
 

@@ -34,6 +34,18 @@ class OltpWorkload
     /** Number of concurrent client sessions (paper Section 3). */
     virtual int sessionCount() const = 0;
 
+    /**
+     * Sessions belonging to one tenant class (tune/tune.h numbering:
+     * 0 = OLTP, 1 = OLAP). Pure OLTP workloads put every session on
+     * tenant 0; hybrid workloads override. Drives the blame ledger's
+     * makespan (sessions x window) when observability is enabled.
+     */
+    virtual int
+    tenantSessions(int tenant) const
+    {
+        return tenant == 0 ? sessionCount() : 0;
+    }
+
     /** Spawn all sessions into the run. */
     virtual void startSessions(SimRun &run, Database &db,
                                uint64_t seed) = 0;

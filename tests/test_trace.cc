@@ -133,6 +133,45 @@ TEST(TraceRecorder, NestedSpansStayWithinParent)
     }
 }
 
+TEST(TraceRecorder, CounterEventsRenderAsTelemetryTrack)
+{
+    TraceRecorder tr;
+    tr.beginRun("run");
+    tr.counter("obs", "busy_cores", milliseconds(1), 12.0);
+    tr.counter("obs", "busy_cores", milliseconds(2), 14.0);
+
+    std::string err;
+    const Json doc = Json::parse(tr.toJson().dump(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    const Json &events = doc.at("traceEvents");
+
+    // The telemetry track is named for the viewer.
+    bool named = false;
+    for (const auto &e : events.items())
+        if (e.at("ph").asString() == "M" &&
+            e.at("tid").asInt() == TraceRecorder::kObsTrack &&
+            e.at("args").at("name").asString() == "telemetry (slo)")
+            named = true;
+    EXPECT_TRUE(named);
+
+    // Counter samples are "C" events carrying args.value on the obs
+    // track, in timestamp order (Perfetto fills between samples).
+    int counters = 0;
+    double last_ts = -1, last_value = 0;
+    for (const auto &e : events.items()) {
+        if (e.at("ph").asString() != "C")
+            continue;
+        ++counters;
+        EXPECT_EQ(e.at("tid").asInt(), TraceRecorder::kObsTrack);
+        EXPECT_EQ(e.at("name").asString(), "busy_cores");
+        EXPECT_GT(e.at("ts").asDouble(), last_ts);
+        last_ts = e.at("ts").asDouble();
+        last_value = e.at("args").at("value").asDouble();
+    }
+    EXPECT_EQ(counters, 2);
+    EXPECT_DOUBLE_EQ(last_value, 14.0);
+}
+
 TEST(TraceRecorder, SsdModelEmitsIoSpansWhenActive)
 {
     TraceRecorder tr;

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Renders the observability section of a bench run report: per-tenant
+ * resource-blame attribution, the derived sensitivity ranking, SLO
+ * violations, and the sampled time series — the "why was this run
+ * slow" view over a BENCH_report.json produced with `--json` and
+ * `RunConfig::obs` enabled.
+ *
+ *   dbsens_explain <report.json> [--json]
+ *
+ * The report may be a single bench report or a merged document
+ * (report_tool merge); every `obs` object found under results/ is
+ * rendered. `--json` re-emits just the obs objects (keyed by their
+ * result path) for scripting. Built only on the in-tree Json class.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/json.h"
+
+namespace {
+
+using dbsens::Json;
+
+bool
+loadJson(const std::string &path, Json *out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "dbsens_explain: cannot read %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string err;
+    *out = Json::parse(ss.str(), &err);
+    if (!err.empty()) {
+        std::fprintf(stderr, "dbsens_explain: %s: parse error: %s\n",
+                     path.c_str(), err.c_str());
+        return false;
+    }
+    return true;
+}
+
+double
+num(const Json &j, const std::string &key, double dflt = 0)
+{
+    return j.contains(key) && j.at(key).isNumber()
+               ? j.at(key).asDouble()
+               : dflt;
+}
+
+std::string
+str(const Json &j, const std::string &key)
+{
+    return j.contains(key) && j.at(key).isString()
+               ? j.at(key).asString()
+               : std::string();
+}
+
+/** ASCII sparkline of a series' [t, value] points. */
+std::string
+sparkline(const Json &points, double max)
+{
+    static const char *kRamp = " .:-=+*#%@";
+    std::string out;
+    for (const Json &p : points.items()) {
+        if (!p.isArray() || p.size() < 2)
+            continue;
+        const double v = p.at(1).asDouble();
+        const int lvl =
+            max > 0 ? int(9.0 * (v < 0 ? 0 : v) / max + 0.5) : 0;
+        out += kRamp[lvl < 0 ? 0 : (lvl > 9 ? 9 : lvl)];
+    }
+    return out;
+}
+
+void
+renderObs(const std::string &label, const Json &obs)
+{
+    std::printf("\n=== %s ===\n", label.c_str());
+    std::printf("window %.1f ms, share-sum error %.2e, digest %s\n",
+                num(obs, "window_ms"), num(obs, "sum_error"),
+                str(obs, "digest").c_str());
+
+    // ------------------------------------------- blame decomposition
+    if (obs.contains("tenants")) {
+        for (const Json &t : obs.at("tenants").items()) {
+            const double makespan = num(t, "makespan_ms");
+            std::printf("\ntenant %d: %d session(s), makespan "
+                        "%.2f ms\n",
+                        int(num(t, "tenant")), int(num(t, "sessions")),
+                        makespan);
+            if (t.contains("share_ms")) {
+                for (const auto &m : t.at("share_ms").members()) {
+                    const double ms = m.second.asDouble();
+                    if (ms <= 0)
+                        continue;
+                    const double pct =
+                        makespan > 0 ? 100.0 * ms / makespan : 0;
+                    std::printf("  %-16s %12.2f ms  %5.1f%%  %s\n",
+                                m.first.c_str(), ms, pct,
+                                std::string(size_t(pct / 2 + 0.5), '#')
+                                    .c_str());
+                }
+            }
+            if (t.contains("ranking")) {
+                std::printf("  predicted sensitivity:");
+                int rank = 0;
+                for (const Json &r : t.at("ranking").items()) {
+                    if (num(r, "blame_ms") <= 0)
+                        break;
+                    std::printf("%s %s (%.0f%%)", rank ? "," : "",
+                                str(r, "resource").c_str(),
+                                100.0 * num(r, "blame_frac"));
+                    ++rank;
+                }
+                std::printf("%s\n", rank ? "" : " (none)");
+            }
+        }
+    }
+
+    // ------------------------------------------------- per-query view
+    if (obs.contains("queries") && obs.at("queries").size() > 0) {
+        std::printf("\nqueries:\n");
+        for (const Json &q : obs.at("queries").items())
+            std::printf("  t%d %-24s n=%-4d span %10.2f ms\n",
+                        int(num(q, "tenant")), str(q, "name").c_str(),
+                        int(num(q, "count")), num(q, "span_ms"));
+    }
+
+    // --------------------------------------------------- SLO events
+    if (obs.contains("slo_violations")) {
+        const auto &v = obs.at("slo_violations").items();
+        std::printf("\nSLO violations: %zu\n", v.size());
+        for (const Json &e : v)
+            std::printf("  t%d %s = %.3f (limit %.3f) at %.1f ms\n",
+                        int(num(e, "tenant")),
+                        str(e, "metric").c_str(), num(e, "value"),
+                        num(e, "limit"), num(e, "at_ms"));
+    }
+
+    // --------------------------------------------------- time series
+    if (obs.contains("series") && obs.at("series").size() > 0) {
+        std::printf("\nseries (mean / max / shape):\n");
+        for (const Json &s : obs.at("series").items()) {
+            const double max = num(s, "max");
+            std::printf("  %-26s %12.2f %12.2f  |%s|\n",
+                        str(s, "name").c_str(), num(s, "mean"), max,
+                        s.contains("points")
+                            ? sparkline(s.at("points"), max).c_str()
+                            : "");
+        }
+    }
+}
+
+/** Depth-first hunt for "obs" objects; path labels each hit. */
+void
+collect(const Json &node, const std::string &path,
+        std::vector<std::pair<std::string, const Json *>> *out)
+{
+    if (!node.isObject())
+        return;
+    for (const auto &m : node.members()) {
+        const std::string sub =
+            path.empty() ? m.first : path + "." + m.first;
+        if (m.first == "obs" && m.second.isObject() &&
+            m.second.contains("tenants"))
+            out->push_back({sub, &m.second});
+        else
+            collect(m.second, sub, out);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    bool as_json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            as_json = true;
+        else if (std::strcmp(argv[i], "--help") == 0 ||
+                 std::strcmp(argv[i], "-h") == 0) {
+            std::printf("usage: dbsens_explain <report.json> "
+                        "[--json]\n");
+            return 0;
+        } else if (path.empty())
+            path = argv[i];
+        else {
+            std::fprintf(stderr, "dbsens_explain: unexpected "
+                         "argument '%s'\n", argv[i]);
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        std::fprintf(stderr,
+                     "usage: dbsens_explain <report.json> [--json]\n");
+        return 2;
+    }
+
+    Json doc;
+    if (!loadJson(path, &doc))
+        return 1;
+
+    std::vector<std::pair<std::string, const Json *>> hits;
+    collect(doc, "", &hits);
+    if (hits.empty()) {
+        std::fprintf(stderr, "dbsens_explain: %s holds no obs "
+                     "section (run the bench with --json and "
+                     "RunConfig::obs enabled)\n", path.c_str());
+        return 1;
+    }
+
+    if (as_json) {
+        Json out = Json::object();
+        for (const auto &h : hits)
+            out[h.first] = *h.second;
+        std::printf("%s\n", out.dump(2).c_str());
+        return 0;
+    }
+    for (const auto &h : hits)
+        renderObs(h.first, *h.second);
+    return 0;
+}

@@ -14,13 +14,33 @@
  *       Values are never compared — golden leaves only pin the type —
  *       so the check is robust to timing noise but catches dropped
  *       fields, renames, and type regressions (CI).
+ *
+ *   report_tool diff <new.json> <baseline.json>
+ *               [--rtol R] [--atol A] [--key prefix=R ...]
+ *               [--ignore substr ...]
+ *       Value-level regression diff: every number present in the
+ *       baseline must match the new report within atol + rtol *
+ *       max(|a|,|b|); strings and bools must match exactly; a key
+ *       missing from the new report or an array length change is a
+ *       regression. Keys only in the new report are listed but not
+ *       fatal (new features add keys; regenerate the baseline to
+ *       adopt them). --key gives a per-subtree rtol override
+ *       (longest matching dotted-path prefix wins); --ignore skips
+ *       paths containing the substring (digests, host-dependent
+ *       fields). Exit is nonzero when any regression was found, so
+ *       CI can gate on it and upload the printed diff as an
+ *       artifact.
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/json.h"
 
@@ -114,6 +134,190 @@ checkShape(const Json &doc, const Json &golden, const std::string &path)
     return errors;
 }
 
+// ------------------------------------------------------ value diff
+
+struct DiffOptions
+{
+    double rtol = 0.05;
+    double atol = 1e-9;
+    /** Dotted-path-prefix rtol overrides; longest prefix wins. */
+    std::vector<std::pair<std::string, double>> keyRtol;
+    /** Paths containing any of these substrings are skipped. */
+    std::vector<std::string> ignore;
+};
+
+struct DiffStats
+{
+    int regressions = 0;
+    int added = 0;
+    int compared = 0;
+};
+
+bool
+ignored(const DiffOptions &opt, const std::string &path)
+{
+    for (const std::string &s : opt.ignore)
+        if (path.find(s) != std::string::npos)
+            return true;
+    return false;
+}
+
+double
+rtolFor(const DiffOptions &opt, const std::string &path)
+{
+    double best = opt.rtol;
+    size_t best_len = 0;
+    for (const auto &kv : opt.keyRtol)
+        if (path.compare(0, kv.first.size(), kv.first) == 0 &&
+            kv.first.size() >= best_len) {
+            best = kv.second;
+            best_len = kv.first.size();
+        }
+    return best;
+}
+
+void
+diffValues(const Json &doc, const Json &base, const std::string &path,
+           const DiffOptions &opt, DiffStats *st)
+{
+    const char *p = path.empty() ? "(root)" : path.c_str();
+    if (ignored(opt, path))
+        return;
+    if (doc.type() != base.type()) {
+        std::printf("TYPE %s: baseline %s, new %s\n", p,
+                    typeName(base), typeName(doc));
+        ++st->regressions;
+        return;
+    }
+    switch (base.type()) {
+      case Json::Type::Number: {
+        ++st->compared;
+        const double a = doc.asDouble(), b = base.asDouble();
+        const double mag = std::max(std::fabs(a), std::fabs(b));
+        const double tol = opt.atol + rtolFor(opt, path) * mag;
+        if (std::fabs(a - b) > tol) {
+            std::printf("VALUE %s: baseline %g, new %g "
+                        "(|delta| %g > tol %g)\n",
+                        p, b, a, std::fabs(a - b), tol);
+            ++st->regressions;
+        }
+        break;
+      }
+      case Json::Type::Bool:
+        ++st->compared;
+        if (doc.asBool() != base.asBool()) {
+            std::printf("VALUE %s: baseline %s, new %s\n", p,
+                        base.asBool() ? "true" : "false",
+                        doc.asBool() ? "true" : "false");
+            ++st->regressions;
+        }
+        break;
+      case Json::Type::String:
+        ++st->compared;
+        if (doc.asString() != base.asString()) {
+            std::printf("VALUE %s: baseline \"%s\", new \"%s\"\n", p,
+                        base.asString().c_str(),
+                        doc.asString().c_str());
+            ++st->regressions;
+        }
+        break;
+      case Json::Type::Array:
+        if (doc.size() != base.size()) {
+            std::printf("LENGTH %s: baseline %zu element(s), new "
+                        "%zu\n",
+                        p, base.size(), doc.size());
+            ++st->regressions;
+            break;
+        }
+        for (size_t i = 0; i < base.size(); ++i)
+            diffValues(doc.at(i), base.at(i),
+                       path + "[" + std::to_string(i) + "]", opt, st);
+        break;
+      case Json::Type::Object: {
+        for (const auto &m : base.members()) {
+            const std::string sub =
+                path.empty() ? m.first : path + "." + m.first;
+            if (!doc.contains(m.first)) {
+                if (!ignored(opt, sub)) {
+                    std::printf("MISSING %s\n", sub.c_str());
+                    ++st->regressions;
+                }
+                continue;
+            }
+            diffValues(doc.at(m.first), m.second, sub, opt, st);
+        }
+        for (const auto &m : doc.members())
+            if (!base.contains(m.first)) {
+                const std::string sub =
+                    path.empty() ? m.first : path + "." + m.first;
+                if (!ignored(opt, sub)) {
+                    std::printf("ADDED %s (not in baseline; "
+                                "regenerate to adopt)\n",
+                                sub.c_str());
+                    ++st->added;
+                }
+            }
+        break;
+      }
+      case Json::Type::Null:
+        break;
+    }
+}
+
+int
+cmdDiff(int argc, char **argv)
+{
+    std::vector<const char *> paths;
+    DiffOptions opt;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--rtol" && i + 1 < argc)
+            opt.rtol = std::atof(argv[++i]);
+        else if (arg == "--atol" && i + 1 < argc)
+            opt.atol = std::atof(argv[++i]);
+        else if (arg == "--ignore" && i + 1 < argc)
+            opt.ignore.push_back(argv[++i]);
+        else if (arg == "--key" && i + 1 < argc) {
+            const std::string kv = argv[++i];
+            const size_t eq = kv.find('=');
+            if (eq == std::string::npos) {
+                std::fprintf(stderr, "report_tool: --key wants "
+                             "prefix=rtol, got '%s'\n", kv.c_str());
+                return 2;
+            }
+            opt.keyRtol.push_back(
+                {kv.substr(0, eq), std::atof(kv.c_str() + eq + 1)});
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "report_tool: unknown diff option "
+                         "'%s'\n", arg.c_str());
+            return 2;
+        } else
+            paths.push_back(argv[i]);
+    }
+    if (paths.size() != 2) {
+        std::fprintf(stderr,
+                     "usage: report_tool diff <new.json> "
+                     "<baseline.json> [--rtol R] [--atol A] "
+                     "[--key prefix=R ...] [--ignore substr ...]\n");
+        return 2;
+    }
+    Json doc, base;
+    if (!loadJson(paths[0], &doc) || !loadJson(paths[1], &base))
+        return 1;
+    DiffStats st;
+    diffValues(doc, base, "", opt, &st);
+    std::printf("compared %d leaf value(s): %d regression(s), %d "
+                "added key(s)\n",
+                st.compared, st.regressions, st.added);
+    if (st.regressions) {
+        std::fprintf(stderr, "report_tool: %s regressed vs baseline "
+                     "%s\n", paths[0], paths[1]);
+        return 1;
+    }
+    std::printf("%s matches baseline %s\n", paths[0], paths[1]);
+    return 0;
+}
+
 int
 cmdMerge(int argc, char **argv)
 {
@@ -169,13 +373,15 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: report_tool <merge|check> ...\n");
+                     "usage: report_tool <merge|check|diff> ...\n");
         return 2;
     }
     if (std::strcmp(argv[1], "merge") == 0)
         return cmdMerge(argc - 2, argv + 2);
     if (std::strcmp(argv[1], "check") == 0)
         return cmdCheck(argc - 2, argv + 2);
+    if (std::strcmp(argv[1], "diff") == 0)
+        return cmdDiff(argc - 2, argv + 2);
     std::fprintf(stderr, "report_tool: unknown command '%s'\n",
                  argv[1]);
     return 2;
