@@ -116,6 +116,7 @@ toJson(const RunConfig &cfg)
                  ? "detector"
                  : "timeout");
     j["fault_enabled"] = Json(cfg.fault.enabled);
+    j["resil_enabled"] = Json(cfg.resil.enabled);
     j["tune_enabled"] = Json(cfg.tune.enabled);
     j["tune_policy"] = Json(cfg.tune.enabled
                                 ? tunePolicyName(cfg.tune.policy)
@@ -146,6 +147,7 @@ toJson(const TuneResult &r)
     j["probes"] = Json(r.probes);
     j["shifts"] = Json(r.shifts);
     j["rollbacks"] = Json(r.rollbacks);
+    j["freezes"] = Json(r.freezes);
     j["score"] = Json(r.score);
     // Hex string: a 64-bit digest does not survive the double-backed
     // JSON number representation.
@@ -170,6 +172,52 @@ toJson(const TuneResult &r)
         probes.push(std::move(e));
     }
     j["probe"] = std::move(probes);
+    return j;
+}
+
+/** Resilience-controller summary (the `resil.*` family). */
+inline Json
+toJson(const resil::ResilResult &r)
+{
+    Json j = Json::object();
+    j["enabled"] = Json(r.enabled);
+    j["ticks"] = Json(r.ticks);
+    j["incidents"] = Json(r.incidents);
+    j["incident_ms"] = Json(double(r.incidentNs) / 1e6);
+    j["escalations"] = Json(r.escalations);
+    j["deescalations"] = Json(r.deescalations);
+    j["max_rung"] = Json(r.maxRung);
+    j["freezes"] = Json(r.freezes);
+    j["oltp_admitted"] = Json(r.admitted[0]);
+    j["olap_admitted"] = Json(r.admitted[1]);
+    j["oltp_admit_sheds"] = Json(r.admitSheds[0]);
+    j["olap_admit_sheds"] = Json(r.admitSheds[1]);
+    // Hex string: a 64-bit digest does not survive the double-backed
+    // JSON number representation.
+    char digest[24];
+    std::snprintf(digest, sizeof digest, "%016llx",
+                  (unsigned long long)r.incidentDigest);
+    j["incident_digest"] = Json(digest);
+    Json eps = Json::array();
+    for (const resil::IncidentEvent &e : r.episodes) {
+        Json o = Json::object();
+        o["id"] = Json(e.id);
+        o["start_ms"] = Json(double(e.start) / 1e6);
+        o["end_ms"] = Json(e.end > 0 ? double(e.end) / 1e6 : -1.0);
+        o["peak_pressure"] = Json(e.peakPressure);
+        o["causes"] = Json(uint64_t(e.causes));
+        eps.push(std::move(o));
+    }
+    j["episodes"] = std::move(eps);
+    Json trans = Json::array();
+    for (const resil::LadderTransition &t : r.transitions) {
+        Json o = Json::object();
+        o["at_ms"] = Json(double(t.at) / 1e6);
+        o["from"] = Json(t.from);
+        o["to"] = Json(t.to);
+        trans.push(std::move(o));
+    }
+    j["transitions"] = std::move(trans);
     return j;
 }
 
@@ -248,11 +296,15 @@ toJson(const OltpRunResult &r)
     j["avg_dram_bps"] = Json(r.avgDramBps);
     j["lock_timeouts"] = Json(r.lockTimeouts);
     j["deadlock_aborts"] = Json(r.deadlockAborts);
+    j["queries_shed"] = Json(r.queriesShed);
+    j["queries_shed_timeout"] = Json(r.queriesShedTimeout);
+    j["queries_shed_admission"] = Json(r.queriesShedAdmission);
     j["crashes"] = Json(r.crashes);
     j["recovery_ms"] = Json(r.recoveryMs);
     j["olap_useful_per_s"] = Json(r.olapUsefulPerSec);
     j["fault"] = toJson(r.fault);
     j["tune"] = toJson(r.tune);
+    j["resil"] = toJson(r.resil);
     j["waits"] = toJson(r.waits);
     if (r.attribution.enabled)
         j["obs"] = r.attribution.toJson();
@@ -271,6 +323,8 @@ toJson(const TpchRunResult &r)
     Json j = Json::object();
     j["qps"] = Json(r.qps);
     j["queries_shed"] = Json(r.queriesShed);
+    j["queries_shed_timeout"] = Json(r.queriesShedTimeout);
+    j["queries_shed_admission"] = Json(r.queriesShedAdmission);
     j["mpki"] = Json(r.mpki);
     j["avg_ssd_read_bps"] = Json(r.avgSsdReadBps);
     j["avg_ssd_write_bps"] = Json(r.avgSsdWriteBps);

@@ -21,6 +21,7 @@ PAPER_BENCHES="bench_table2_sizes bench_table3_waits \
 # paper-scale numbers.
 FIG10="bench_fig10_autopilot --small"
 FIG11="bench_fig11_attribution --small"
+FIG12="bench_fig12_resilience --small"
 
 if [ "${1:-}" = "wallclock" ]; then
     build/bench/bench_wallclock > BENCH_wallclock.json \
@@ -60,6 +61,14 @@ if [ "${1:-}" = "report" ]; then
     else
         echo "BENCH FAILED: bench_fig11_attribution" >&2
     fi
+    echo ""
+    echo "##### bench_fig12_resilience (--small --json) #####"
+    # shellcheck disable=SC2086
+    if build/bench/$FIG12 --json reports/bench_fig12_resilience.json; then
+        collected="$collected reports/bench_fig12_resilience.json"
+    else
+        echo "BENCH FAILED: bench_fig12_resilience" >&2
+    fi
     # shellcheck disable=SC2086
     build/tools/report_tool merge BENCH_report.json $collected
     exit 0
@@ -78,3 +87,7 @@ echo ""
 echo "##### build/bench/$FIG11 #####"
 # shellcheck disable=SC2086
 build/bench/$FIG11 || echo "BENCH FAILED: bench_fig11_attribution"
+echo ""
+echo "##### build/bench/$FIG12 #####"
+# shellcheck disable=SC2086
+build/bench/$FIG12 || echo "BENCH FAILED: bench_fig12_resilience"

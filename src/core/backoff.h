@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared capped-exponential back-off helpers.
+ *
+ * Two retry paths grew the same delay schedule independently — the
+ * SSD I/O retry loop (FaultInjector) and the lock-timeout victim
+ * retry (workload sessions): double a base delay per attempt, clamp
+ * at a cap, then add seeded jitter in [0, d/2] to break retry
+ * convoys without sacrificing determinism. This header is the single
+ * implementation both consume, plus a small stateful variant the
+ * resilience ladder uses for re-admission hold times.
+ */
+
+#ifndef DBSENS_CORE_BACKOFF_H
+#define DBSENS_CORE_BACKOFF_H
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/random.h"
+#include "core/sim_time.h"
+
+namespace dbsens {
+
+/**
+ * Deterministic part of the schedule: base doubled per attempt past
+ * the first, clamped to cap. attempt >= 1; attempt 1 is the base
+ * delay. Matches the historical loop shape bit-for-bit (the doubling
+ * stops once the running delay reaches the cap).
+ */
+inline SimDuration
+cappedExpDelay(SimDuration base, SimDuration cap, int attempt)
+{
+    SimDuration d = base;
+    for (int i = 1; i < attempt && d < cap; ++i)
+        d = d * 2;
+    return std::min(d, cap);
+}
+
+/**
+ * Full back-off: capped-exponential delay plus seeded jitter drawn
+ * from `rng` in [0, d/2]. Consumes exactly one uniform draw, so
+ * callers that switch to this helper keep their RNG streams (and
+ * therefore their simulated results) byte-identical.
+ */
+inline SimDuration
+cappedExpBackoff(SimDuration base, SimDuration cap, int attempt,
+                 Rng &rng)
+{
+    const SimDuration d = cappedExpDelay(base, cap, attempt);
+    return d + SimDuration(rng.uniform(uint64_t(d / 2 + 1)));
+}
+
+/**
+ * Stateful capped doubling without jitter: current() starts at base,
+ * escalate() doubles it up to cap, reset() returns to base. Used
+ * where the "attempt" count is event-driven rather than a loop index
+ * (e.g. the degradation ladder's per-rung re-admission hold).
+ */
+class ExpBackoff
+{
+  public:
+    ExpBackoff() = default;
+    ExpBackoff(int64_t base, int64_t cap)
+        : base_(base), cap_(std::max(base, cap)), cur_(base)
+    {
+    }
+
+    int64_t current() const { return cur_; }
+
+    /** Double the delay, saturating at the cap. */
+    void escalate() { cur_ = std::min(cap_, cur_ * 2); }
+
+    void reset() { cur_ = base_; }
+
+  private:
+    int64_t base_ = 1;
+    int64_t cap_ = 1;
+    int64_t cur_ = 1;
+};
+
+} // namespace dbsens
+
+#endif // DBSENS_CORE_BACKOFF_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/backoff.h"
 #include "core/logging.h"
 #include "core/stats.h"
 
@@ -159,13 +160,8 @@ FaultInjector::drawTornPage()
 SimDuration
 FaultInjector::ioRetryBackoff(int attempt)
 {
-    SimDuration d = cfg_.ioRetryBase;
-    for (int i = 1; i < attempt && d < cfg_.ioRetryCap; ++i)
-        d *= 2;
-    d = std::min(d, cfg_.ioRetryCap);
-    // Seeded jitter in [0, d/2): breaks retry convoys without
-    // sacrificing determinism.
-    return d + SimDuration(rngJitter_.uniform(uint64_t(d / 2 + 1)));
+    return cappedExpBackoff(cfg_.ioRetryBase, cfg_.ioRetryCap, attempt,
+                            rngJitter_);
 }
 
 void

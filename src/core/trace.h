@@ -42,6 +42,7 @@ class TraceRecorder
     static constexpr int kIoTrack = 1;     ///< SSD channel activity
     static constexpr int kTuneTrack = 2;   ///< autopilot decisions
     static constexpr int kObsTrack = 3;    ///< telemetry counters/SLO
+    static constexpr int kResilTrack = 4;  ///< incidents, ladder rungs
     static constexpr int kFirstQueryTrack = 16; ///< per-query tracks
 
     /** Currently active recorder, or nullptr (tracing off). */

@@ -53,7 +53,7 @@ GrantGate::acquire(uint64_t bytes, uint64_t *granted)
             Waiter *victim = *it;
             waiters_.erase(it);
             victim->shed = true;
-            ++shedCount_;
+            ++shedTimeout_;
             if (faults_)
                 faults_->noteGrantShed();
             loop_.post(victim->handle);

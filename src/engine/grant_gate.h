@@ -47,8 +47,23 @@ class GrantGate
     /** Optional fault-counter sink for shed accounting. */
     void setFaultInjector(FaultInjector *f) { faults_ = f; }
 
-    /** Queries shed by the queue timeout. */
-    uint64_t shedCount() const { return shedCount_; }
+    /** Total sheds (queue timeout + admission control). */
+    uint64_t shedCount() const { return shedTimeout_ + shedAdmission_; }
+
+    /** Queries shed by the queue timeout alone. */
+    uint64_t shedTimeoutCount() const { return shedTimeout_; }
+
+    /** Queries shed by admission control ahead of the gate. */
+    uint64_t shedAdmissionCount() const { return shedAdmission_; }
+
+    /**
+     * Account one admission-control shed. The resilience token
+     * bucket turns work away *before* it queues here; routing the
+     * count through the gate keeps every shed — timeout or admission
+     * — visible under one `grants.*` prefix while the split stays
+     * separately reportable.
+     */
+    void noteAdmissionShed() { ++shedAdmission_; }
 
     /**
      * Reserve `bytes` of query memory, waiting FIFO behind earlier
@@ -112,8 +127,14 @@ class GrantGate
                   [this] { return double(waiters_.size()); },
                   "queries queued for a grant");
         reg.gauge(prefix + ".sheds",
-                  [this] { return double(shedCount_); },
+                  [this] { return double(shedCount()); },
+                  "queries shed (timeout + admission)");
+        reg.gauge(prefix + ".sheds_timeout",
+                  [this] { return double(shedTimeout_); },
                   "queries shed by the queue timeout");
+        reg.gauge(prefix + ".sheds_admission",
+                  [this] { return double(shedAdmission_); },
+                  "queries shed by admission control");
     }
 
     /** Wait-queue entry (public for the internal park awaitable). */
@@ -141,7 +162,8 @@ class GrantGate
     uint64_t peakReserved_ = 0;
     SimDuration queueTimeout_ = 0;
     FaultInjector *faults_ = nullptr;
-    uint64_t shedCount_ = 0;
+    uint64_t shedTimeout_ = 0;
+    uint64_t shedAdmission_ = 0;
     uint64_t nextWaiterId_ = 0;
     std::deque<Waiter *> waiters_;
 };

@@ -153,6 +153,12 @@ SimRun::SimRun(Database &db, const RunConfig &cfg)
     stats.gauge("run.queries_shed",
                 [this] { return double(queriesShed); },
                 "queries shed at the grant gate");
+    stats.gauge("run.queries_shed_timeout",
+                [this] { return double(queriesShedTimeout); },
+                "queries shed by the grant-queue timeout");
+    stats.gauge("run.queries_shed_admission",
+                [this] { return double(queriesShedAdmission); },
+                "queries shed by resilience admission control");
     stats.gauge("run.queries_completed",
                 [this] { return double(queriesCompleted); },
                 "completed analytical queries");
@@ -252,7 +258,45 @@ SimRun::SimRun(Database &db, const RunConfig &cfg)
         act.progressStat[kTenantOlap] = "run.olap_useful_ns";
         act.running = [this] { return running(); };
         autopilot->registerStats(stats, "tune");
+        if (cfg.resil.enabled)
+            autopilot->installFreezeGuard();
         autopilot->start(std::move(act));
+    }
+
+    if (cfg.resil.enabled) {
+        resil::ResilConfig rc = cfg.resil;
+        if (rc.tick <= 0)
+            rc.tick = cfg.obs.enabled ? cfg.obs.sampleEvery
+                                      : milliseconds(2);
+        resil = std::make_unique<resil::ResilController>(loop, rc);
+        resil::ResilController::Hooks hooks;
+        hooks.stats = &stats;
+        if (obs)
+            hooks.sloViolations = [this] {
+                return obs->slo().violations().size();
+            };
+        hooks.setGrantCapacity = [this](uint64_t bytes) {
+            grants.setCapacity(bytes);
+        };
+        hooks.grantCapacity = [this] {
+            return grants.capacityBytes();
+        };
+        hooks.setCoreLease = [this](int t, uint64_t mask) {
+            cpu.setTenantMask(t, mask);
+        };
+        hooks.restoreShares = [this] {
+            if (autopilot)
+                autopilot->reapply();
+            else
+                cpu.clearTenantMasks();
+        };
+        hooks.setTuningFrozen = [this](bool frozen) {
+            if (autopilot)
+                autopilot->setFrozen(frozen);
+        };
+        hooks.running = [this] { return running(); };
+        resil->registerStats(stats, "resil");
+        resil->start(std::move(hooks));
     }
     loop.spawn(checkpointer(*this));
     if (cfg.deadlockPolicy == DeadlockPolicy::Detector)
@@ -305,6 +349,10 @@ SimRun::startSampling(double byte_scale)
         obs->beginWindow(loop.now());
         loop.spawn(obsTicker(*this, cfg_.obs.sampleEvery));
     }
+    // Spawned after the obs ticker: at equal timestamps the SLO
+    // verdicts the controller reads are already recorded.
+    if (resil)
+        resil->startTicker();
 }
 
 void

@@ -22,6 +22,7 @@
 #include "engine/grant_gate.h"
 #include "hw/cache_feed.h"
 #include "obs/observer.h"
+#include "resil/controller.h"
 #include "sim/core_scheduler.h"
 #include "sim/dram_model.h"
 #include "sim/event_loop.h"
@@ -110,6 +111,13 @@ struct RunConfig
      */
     obs::ObsConfig obs;
     /**
+     * Resilience controller: incident detection, autopilot
+     * change-freeze, and the staged degradation ladder (disabled ⇒
+     * no controller is built, no tick scheduled, sessions skip every
+     * admission check — runs stay byte-identical).
+     */
+    resil::ResilConfig resil;
+    /**
      * First transaction id minus one. The harness advances this across
      * crash phases so a resumed run never reuses an earlier phase's
      * ids — the WAL history and the recovery reconciliation key
@@ -153,6 +161,9 @@ class SimRun
     /** Observability engine; null unless cfg.obs.enabled. Every
      * instrumentation site is gated on this pointer. */
     std::unique_ptr<obs::RunObserver> obs;
+    /** Resilience controller; null unless cfg.resil.enabled. Sessions
+     * consult it for admission and MAXDOP clamps. */
+    std::unique_ptr<resil::ResilController> resil;
     /**
      * Unified per-run stats registry: every component above registers
      * gauges here under a dotted prefix (`bufferpool.misses`,
@@ -171,8 +182,12 @@ class SimRun
     uint64_t txnsRetried = 0;
     /** Victims abandoned after the retry budget ran out. */
     uint64_t txnsGivenUp = 0;
-    /** Analytical queries shed at the grant gate. */
+    /** Analytical queries shed (timeout + admission). */
     uint64_t queriesShed = 0;
+    /** ... by the grant-queue timeout (fault.grantTimeout). */
+    uint64_t queriesShedTimeout = 0;
+    /** ... by resilience token-bucket admission, ahead of the gate. */
+    uint64_t queriesShedAdmission = 0;
     /**
      * Nominal (spill- and stall-free) instruction-ns completed by
      * OLAP-tagged replay morsels. The autopilot's tenant-1 progress

@@ -83,10 +83,15 @@ runOltpOn(OltpWorkload &workload, Database &db, RunConfig cfg)
             sampled_misses += double(run.feed.misses() - miss_base);
             instr += run.instructionsRetired;
             olap_useful += run.olapUsefulNs;
+            res.queriesShed += run.queriesShed;
+            res.queriesShedTimeout += run.queriesShedTimeout;
+            res.queriesShedAdmission += run.queriesShedAdmission;
             if (run.autopilot)
                 res.tune = run.autopilot->result();
             if (run.obs)
                 res.attribution.merge(run.obs->finish());
+            if (run.resil)
+                res.resil.merge(run.resil->result());
             if (run.sampler.hasSeries("ssd_read_Bps"))
                 appendSeries(res.ssdRead,
                              run.sampler.series("ssd_read_Bps"));

@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "obs/observer.h"
+#include "resil/resil.h"
 #include "tune/tune.h"
 #include "workloads/workload.h"
 
@@ -44,6 +45,10 @@ struct OltpRunResult
     /** Raw victim-retry counters (satellites of txnsAborted). */
     uint64_t txnsRetried = 0;
     uint64_t txnsGivenUp = 0;
+    /** Analytical queries shed, split by cause (HTAP). */
+    uint64_t queriesShed = 0;
+    uint64_t queriesShedTimeout = 0;
+    uint64_t queriesShedAdmission = 0;
     /** Injected crashes survived (fault regimes only). */
     uint64_t crashes = 0;
     /** Simulated restart-recovery time, milliseconds. */
@@ -60,6 +65,9 @@ struct OltpRunResult
     /** Resource-blame attribution, merged across crash phases
      * (enabled=false when the run had no observer). */
     obs::AttributionResult attribution;
+    /** Resilience summary, merged across crash phases
+     * (enabled=false when the run had no controller). */
+    resil::ResilResult resil;
 };
 
 /** Default OLTP run length (simulated; steady-state window). */

@@ -127,6 +127,7 @@ TpchDriver::streamSession(SimRun &run, int maxdop, double miss_rate,
                 params.grantBytes, &granted_bytes);
             if (!granted) {
                 ++run.queriesShed;
+                ++run.queriesShedTimeout;
                 continue;
             }
             co_await replayQuery(run, pq.profile, params);
@@ -157,6 +158,8 @@ TpchDriver::runStreams(const RunConfig &cfg, int streams)
         toSeconds(cfg.duration) * double(calib::kScaleK);
     res.qps = double(run.queriesCompleted) / paper_seconds;
     res.queriesShed = run.queriesShed;
+    res.queriesShedTimeout = run.queriesShedTimeout;
+    res.queriesShedAdmission = run.queriesShedAdmission;
     res.mpki = touchesPerKiloInstr() * miss * calib::kAccessSampleWeight;
     if (run.sampler.hasSeries("ssd_read_Bps"))
         res.avgSsdReadBps = run.sampler.series("ssd_read_Bps").mean();

@@ -32,8 +32,11 @@ struct TpchRunResult
     double avgSsdReadBps = 0;
     double avgSsdWriteBps = 0;
     double avgDramBps = 0;
-    /** Queries shed at the grant gate (fault regimes only). */
+    /** Queries shed, split by cause (fault/resilience regimes only):
+     * grant-queue timeouts vs admission-control rejections. */
     uint64_t queriesShed = 0;
+    uint64_t queriesShedTimeout = 0;
+    uint64_t queriesShedAdmission = 0;
     /** Per-paper-second rate samples (Figures 3 and 4). */
     Distribution ssdRead;
     Distribution ssdWrite;

@@ -105,6 +105,9 @@ SsdModel::registerStats(StatsRegistry &reg, const std::string &prefix) const
               [this] { return double(readOps_); }, "read requests");
     reg.gauge(prefix + ".write_ops",
               [this] { return double(writeOps_); }, "write requests");
+    reg.gauge(prefix + ".brownout_factor",
+              [this] { return brownout_; },
+              "current bandwidth brownout factor (1 = healthy)");
     // Channel backlog: how far the virtual clock is ahead of now, i.e.
     // the queueing delay a request issued this instant would see.
     reg.gauge(prefix + ".read_backlog_ns",

@@ -45,6 +45,40 @@ Autopilot::Autopilot(EventLoop &loop, const TuneConfig &cfg,
 }
 
 void
+Autopilot::installFreezeGuard()
+{
+    if (guard_)
+        return;
+    if (started_)
+        panic("installFreezeGuard after Autopilot::start");
+    auto guard = std::make_unique<FreezeGuardPolicy>(std::move(policy_));
+    guard_ = guard.get();
+    policy_ = std::move(guard);
+}
+
+void
+Autopilot::setFrozen(bool frozen)
+{
+    if (!guard_ || frozen == frozen_)
+        return;
+    frozen_ = frozen;
+    // Knob 4 is the freeze pseudo-knob: edges are part of the
+    // trajectory, so replays must reproduce them bit-for-bit.
+    foldKnob(kNumTenants, 4, frozen ? 1 : 0);
+    if (auto *tr = TraceRecorder::active())
+        tr->instant(TraceRecorder::kTuneTrack, "tune",
+                    frozen ? "freeze" : "unfreeze", loop_.now());
+    if (frozen) {
+        ++freezes_;
+        // Roll back now rather than at the next epoch boundary: an
+        // in-flight trial must not keep steering mid-incident.
+        applyState(guard_->freeze(), /*force=*/false);
+    } else {
+        guard_->unfreeze();
+    }
+}
+
+void
 Autopilot::start(Actuators act)
 {
     if (started_)
@@ -195,6 +229,7 @@ Autopilot::result() const
     r.probes = policy_->probes();
     r.shifts = policy_->shifts();
     r.rollbacks = policy_->rollbacks();
+    r.freezes = freezes_;
     r.score = lastScore_;
     r.finalState = state_;
     r.trajectoryDigest = digest_;
@@ -224,6 +259,11 @@ Autopilot::registerStats(StatsRegistry &reg, const std::string &prefix)
     reg.gauge(prefix + ".rollbacks",
               [this] { return double(policy_->rollbacks()); },
               "trial shifts rolled back");
+    reg.gauge(prefix + ".freezes", [this] { return double(freezes_); },
+              "change-freezes entered (resilience guardrail)");
+    reg.gauge(prefix + ".frozen",
+              [this] { return frozen_ ? 1.0 : 0.0; },
+              "1 while tuning is change-frozen");
     reg.gauge(prefix + ".score", [this] { return lastScore_; },
               "last epoch's weighted score");
     for (int t = 0; t < kNumTenants; ++t) {

@@ -89,6 +89,30 @@ class Autopilot
     double lastScore() const { return lastScore_; }
     uint64_t trajectoryDigest() const { return digest_; }
 
+    /**
+     * Wrap the policy in a FreezeGuardPolicy so the resilience
+     * controller can suspend tuning during incidents. Must be called
+     * before start(); idempotent.
+     */
+    void installFreezeGuard();
+
+    /**
+     * Enter/leave change-freeze (no-op without a guard or when the
+     * state matches). Freezing immediately rolls back any in-flight
+     * trial (the held state is re-applied right away, not at the next
+     * epoch); both edges fold into the trajectory digest and land on
+     * the tune trace track.
+     */
+    void setFrozen(bool frozen);
+
+    bool frozen() const { return frozen_; }
+    int freezes() const { return freezes_; }
+
+    /** Re-apply the current knob state through every actuator —
+     * undoes out-of-band actuation (e.g. the resilience ladder's
+     * OLTP-priority core lease) when the emergency lifts. */
+    void reapply() { applyState(state_, /*force=*/true); }
+
     /** Harness-facing summary for OltpRunResult / reports. */
     TuneResult result() const;
 
@@ -107,6 +131,9 @@ class Autopilot
     std::unique_ptr<TuningPolicy> policy_;
     Actuators act_;
     KnobState state_;
+    FreezeGuardPolicy *guard_ = nullptr; ///< owned via policy_
+    bool frozen_ = false;
+    int freezes_ = 0;
     bool started_ = false;
     int epochs_ = 0;
     double lastScore_ = 0;

@@ -129,6 +129,37 @@ ProbeAndShiftPolicy::nextCandidateOrHold()
 }
 
 KnobState
+ProbeAndShiftPolicy::onFreeze()
+{
+    // An in-flight trial is treated exactly like a failed one: roll
+    // back to the last committed state and cool the move down, so a
+    // move that looked good only because the incident was ramping
+    // does not get re-trialed the moment the freeze lifts.
+    if (mode_ == Mode::Trial) {
+        ++rollbacks_;
+        cooldown_[trialMove_.name()] = cfg_.cooldownEpochs;
+    }
+    // A half-finished probe pass is worthless (its deltas mix healthy
+    // and incident epochs); drop it.
+    probe_.begin({});
+    mode_ = Mode::Hold;
+    holdEpochs_ = 0;
+    label_ = "frozen";
+    return base_;
+}
+
+void
+ProbeAndShiftPolicy::onUnfreeze()
+{
+    // Post-incident the sensitivity landscape has likely moved:
+    // restart the re-probe backoff from the fast cadence.
+    holdLimit_ = kReprobeHoldEpochs;
+    holdEpochs_ = 0;
+    mode_ = Mode::Hold;
+    label_ = "hold";
+}
+
+KnobState
 ProbeAndShiftPolicy::onEpoch(const EpochMetrics &m)
 {
     for (auto &kv : cooldown_)

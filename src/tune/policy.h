@@ -23,6 +23,7 @@
 #define DBSENS_TUNE_POLICY_H
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,20 @@ class TuningPolicy
     virtual const std::string &phaseLabel() const = 0;
 
     virtual KnobState initialState() const = 0;
+
+    /**
+     * A change-freeze begins (resilience guardrail): abandon any
+     * in-flight probe or trial and return the state to hold for the
+     * duration of the freeze. Default: the initial state.
+     */
+    virtual KnobState onFreeze() { return initialState(); }
+
+    /**
+     * The freeze lifted. Policies with a probe cadence should re-probe
+     * soon — the incident likely shifted the sensitivity landscape —
+     * and restart any re-probe backoff from its fast setting.
+     */
+    virtual void onUnfreeze() {}
 
     // Activity counters (zero for static policies).
     virtual int probes() const { return 0; }
@@ -119,6 +134,8 @@ class ProbeAndShiftPolicy : public TuningPolicy
     KnobState onEpoch(const EpochMetrics &m) override;
     const std::string &phaseLabel() const override { return label_; }
     KnobState initialState() const override { return base_; }
+    KnobState onFreeze() override;
+    void onUnfreeze() override;
 
     int probes() const override { return probes_; }
     int shifts() const override { return shifts_; }
@@ -183,6 +200,80 @@ class ProbeAndShiftPolicy : public TuningPolicy
     int shifts_ = 0;
     int rollbacks_ = 0;
     std::string label_ = "baseline";
+};
+
+/**
+ * Guardrail layer the resilience controller installs around any
+ * inner policy: while frozen, onEpoch() returns the held state the
+ * inner policy handed over in onFreeze() (in-flight trials rolled
+ * back), so probing and climbing are fully suspended; unfreeze
+ * forwards to the inner policy so its re-probe backoff restarts
+ * fast. Everything else delegates, keeping reports and labels
+ * attributed to the inner policy.
+ */
+class FreezeGuardPolicy : public TuningPolicy
+{
+  public:
+    explicit FreezeGuardPolicy(std::unique_ptr<TuningPolicy> inner)
+        : inner_(std::move(inner))
+    {
+    }
+
+    const char *name() const override { return inner_->name(); }
+
+    KnobState
+    onEpoch(const EpochMetrics &m) override
+    {
+        return frozen_ ? held_ : inner_->onEpoch(m);
+    }
+
+    const std::string &
+    phaseLabel() const override
+    {
+        return frozen_ ? frozenLabel_ : inner_->phaseLabel();
+    }
+
+    KnobState initialState() const override
+    {
+        return inner_->initialState();
+    }
+
+    int probes() const override { return inner_->probes(); }
+    int shifts() const override { return inner_->shifts(); }
+    int rollbacks() const override { return inner_->rollbacks(); }
+    std::vector<ProbeResult> rankedProbes() const override
+    {
+        return inner_->rankedProbes();
+    }
+
+    /** Enter the freeze; returns the state to hold (idempotent). */
+    KnobState
+    freeze()
+    {
+        if (!frozen_) {
+            held_ = inner_->onFreeze();
+            frozen_ = true;
+        }
+        return held_;
+    }
+
+    void
+    unfreeze()
+    {
+        if (frozen_) {
+            frozen_ = false;
+            inner_->onUnfreeze();
+        }
+    }
+
+    bool frozen() const { return frozen_; }
+    TuningPolicy &inner() { return *inner_; }
+
+  private:
+    std::unique_ptr<TuningPolicy> inner_;
+    bool frozen_ = false;
+    KnobState held_;
+    std::string frozenLabel_ = "frozen";
 };
 
 } // namespace dbsens

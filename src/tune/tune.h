@@ -198,6 +198,7 @@ struct TuneResult
     int probes = 0;     ///< probe micro-epochs executed
     int shifts = 0;     ///< committed knob shifts
     int rollbacks = 0;  ///< trial shifts reverted by the guardrail
+    int freezes = 0;    ///< change-freezes entered (resilience)
     double score = 0;   ///< last epoch's weighted score
     KnobState finalState;
     /** FNV-1a fold of every applied knob change (determinism check). */

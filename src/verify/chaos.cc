@@ -89,6 +89,12 @@ stateDigest(Database &db, const OltpRunResult &r)
     mix64(h, r.txnsRetried);
     mix64(h, r.txnsGivenUp);
     mix64(h, r.fault.injected);
+    // Fold the controller trajectories only when their subsystem ran:
+    // legacy episodes (no tune/resil keys) keep their digests.
+    if (r.tune.enabled)
+        mix64(h, r.tune.trajectoryDigest);
+    if (r.resil.enabled)
+        mix64(h, r.resil.incidentDigest);
     uint64_t bits;
     std::memcpy(&bits, &r.tps, sizeof bits);
     mix64(h, bits);
@@ -115,6 +121,8 @@ ChaosEpisode::toJson() const
     j["detector"] = Json(detector);
     j["deadlock_check_ns"] = Json(int64_t(deadlockCheckInterval));
     j["grant_timeout_ns"] = Json(int64_t(grantTimeout));
+    j["tune"] = Json(tune);
+    j["resil"] = Json(resil);
     Json sc = Json::array();
     for (const FaultEvent &ev : script) {
         Json e = Json::object();
@@ -158,6 +166,10 @@ ChaosEpisode::fromJson(const Json &j, ChaosEpisode *out,
     ep.detector = j.at("detector").asBool();
     ep.deadlockCheckInterval = j.at("deadlock_check_ns").asInt();
     ep.grantTimeout = j.at("grant_timeout_ns").asInt();
+    // Optional keys (newer than schema_version 1 repro files): absent
+    // means disabled, so old repros replay bit-identically.
+    ep.tune = j.contains("tune") && j.at("tune").asBool();
+    ep.resil = j.contains("resil") && j.at("resil").asBool();
     if (ep.scaleFactor <= 0 || ep.duration <= 0 || ep.warmup <= 0 ||
         ep.lockTimeout <= 0 || ep.deadlockCheckInterval <= 0)
         return fail("episode has a non-positive knob");
@@ -205,6 +217,11 @@ randomEpisode(uint64_t seed, bool small)
         200 + rng.uniform(800)));
     ep.grantTimeout =
         ep.workload == "HTAP" && rng.chance(0.5) ? milliseconds(2) : 0;
+    // Tuning-plus-faults mode: the autopilot probes (and freezes) and
+    // the resilience ladder climbs while the script fires. Drawn
+    // before the script so the draws stay position-stable.
+    ep.tune = rng.chance(0.35);
+    ep.resil = rng.chance(0.35);
 
     // Randomized fault script inside the run window. At most two
     // crashes (each costs a full recovery pass), brownouts come in
@@ -283,6 +300,22 @@ runEpisode(const ChaosEpisode &ep)
     cfg.fault.seed = ep.faultSeed;
     cfg.fault.grantTimeout = ep.grantTimeout;
     cfg.fault.script = ep.script;
+    if (ep.tune) {
+        cfg.tune.enabled = true;
+        // Episodes are tens of ms: shrink the epoch so the policy
+        // actually probes (and the freeze guard has trials to roll
+        // back when an incident lands mid-trial).
+        cfg.tune.epoch = milliseconds(4);
+    }
+    if (ep.resil) {
+        cfg.resil.enabled = true;
+        // SLO verdicts feed the incident detector; a tight OLTP p99
+        // ceiling makes fault windows register as pressure.
+        cfg.obs.enabled = true;
+        cfg.obs.sampleEvery = milliseconds(2);
+        cfg.obs.slo[0].p99LatencyMs = 4.0;
+        cfg.resil.tick = milliseconds(2);
+    }
     // Online audits at the end of every phase, pre- and post-crash.
     cfg.phaseAudit = [&rep](SimRun &run, int) {
         auditLockTable(run.locks, run.activeTxnList(), rep);

@@ -44,6 +44,14 @@ struct ChaosEpisode
     bool detector = true; ///< waits-for-graph deadlock detection
     SimDuration deadlockCheckInterval = microseconds(500);
     SimDuration grantTimeout = 0; ///< 0 = no load shedding
+    /** Run the autopilot during the episode (probing under faults;
+     * the resilience freeze path gets exercised when `resil` is also
+     * set). Optional in the JSON encoding — absent means false, so
+     * pre-existing repro files replay unchanged. */
+    bool tune = false;
+    /** Run the resilience controller (incident detection + ladder +
+     * admission) during the episode. Optional in JSON like `tune`. */
+    bool resil = false;
     std::vector<FaultEvent> script;
 
     Json toJson() const;

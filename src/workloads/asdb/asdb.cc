@@ -141,7 +141,17 @@ AsdbWorkload::session(SimRun &run, Database &db, uint64_t seed)
     auto &scaling = db.table("scaling");
     auto &growing = db.table("growing");
 
+    int admit_streak = 0;
     while (run.running()) {
+        // Resilience admission: at the admission rung transactions
+        // are deferred (not dropped) with a deterministic capped-
+        // exponential backoff; OLTP-priority bypasses the bucket.
+        if (run.resil && !run.resil->admitWork(kTenantOltp)) {
+            co_await SimDelay(
+                run.loop, run.resil->admitRetryDelay(++admit_streak));
+            continue;
+        }
+        admit_streak = 0;
         const Op op = pickOp(rng);
         // Victim retry policy: a failed attempt (lock timeout or
         // absent key) is retried up to txnRetryLimit times with

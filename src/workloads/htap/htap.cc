@@ -60,6 +60,92 @@ HtapWorkload::startSessions(SimRun &run, Database &db, uint64_t seed)
     tpce::TpceWorkload::startSessions(run, db, seed);
     run.loop.spawn(analyticalSession(run, db));
     run.loop.spawn(tupleMover(run, db));
+    for (int i = 0; i < surgeSessions_; ++i)
+        run.loop.spawn(surgeSession(run, db, i));
+}
+
+Task<void>
+HtapWorkload::analyticalOnce(SimRun &run, Database &db,
+                             LiveCacheFeed &dss_feed, int q,
+                             int &shed_streak)
+{
+    // Token-bucket admission ahead of the grant gate: overload is
+    // shed before it queues, with a deterministic capped-exponential
+    // re-admission backoff per consecutive shed.
+    if (run.resil && !run.resil->admitWork(kTenantOlap)) {
+        ++run.queriesShed;
+        ++run.queriesShedAdmission;
+        run.grants.noteAdmissionShed();
+        co_await SimDelay(run.loop,
+                          run.resil->admitRetryDelay(++shed_streak));
+        co_return;
+    }
+    shed_streak = 0;
+    auto plan = analyticalQuery(q);
+    // Functional profiling against the *live* data (delta
+    // included) with the run's cache and buffer pool: the
+    // measured miss rate reflects OLTP/DSS cache interference.
+    const uint64_t a0 = dss_feed.accesses();
+    const uint64_t m0 = dss_feed.misses();
+    OptimizerConfig cfg;
+    cfg.maxdop = std::min(run.config().maxdop, run.config().cores);
+    if (run.autopilot) {
+        // Per-tenant MAXDOP cap at plan choice: the optimizer
+        // sees the capped DOP, so serial-threshold and join
+        // decisions adapt to the current lease.
+        cfg.maxdopCap = run.autopilot->maxdopCap(kTenantOlap);
+    }
+    if (run.resil) {
+        // Ladder rung 1: the resilience clamp stacks under whatever
+        // the (frozen) autopilot already granted.
+        const int clamp = run.resil->maxdopClamp(kTenantOlap);
+        if (clamp > 0)
+            cfg.maxdopCap = cfg.maxdopCap > 0
+                                ? std::min(cfg.maxdopCap, clamp)
+                                : clamp;
+    }
+    const auto pq = profileQuery(db, *plan, cfg, &run.pool, &dss_feed);
+    const uint64_t da = dss_feed.accesses() - a0;
+    const uint64_t dm = dss_feed.misses() - m0;
+    ReplayParams params;
+    params.dop = pq.parallelPlan
+                     ? std::min(cfg.maxdop, cfg.maxdopCap > 0
+                                                ? cfg.maxdopCap
+                                                : cfg.maxdop)
+                     : 1;
+    params.grantBytes = run.queryGrantBytes();
+    params.missRate = da ? double(dm) / double(da) : 0.05;
+    params.tenant = kTenantOlap;
+    // The resilience controller is observation-only until an incident
+    // engages the ladder: at rung 0 the query takes the exact ungated
+    // path a resil-off run takes, so an idle controller costs nothing.
+    if (run.autopilot || (run.resil && run.resil->rung() > 0) ||
+        run.config().fault.grantTimeout > 0) {
+        // The autopilot (and the resilience ladder) resize the grant
+        // gate; admission control bounds in-flight query memory
+        // against the current budget. `granted` records the exact
+        // reservation (possibly re-clamped below the request by a
+        // shrink while queued) so release never underflows — and the
+        // query replays with the memory it actually got, spilling if
+        // the budget shrank.
+        uint64_t granted = 0;
+        const SimTime grant_start = run.loop.now();
+        const bool ok =
+            co_await run.grants.acquire(params.grantBytes, &granted);
+        if (run.obs)
+            run.obs->chargeGrantWait(kTenantOlap, grant_start,
+                                     run.loop.now());
+        if (!ok) {
+            ++run.queriesShed;
+            ++run.queriesShedTimeout;
+            co_return;
+        }
+        params.grantBytes = granted;
+        co_await replayQuery(run, pq.profile, params);
+        run.grants.release(granted);
+    } else {
+        co_await replayQuery(run, pq.profile, params);
+    }
 }
 
 Task<void>
@@ -72,63 +158,29 @@ HtapWorkload::analyticalSession(SimRun &run, Database &db)
     // fills obey the tenant's current way mask.
     LiveCacheFeed dss_feed(run.llc,
                            run.autopilot ? kTenantOlap : 0);
+    int shed_streak = 0;
     while (run.running()) {
-        for (int q = 0; q < kAnalyticalQueries && run.running(); ++q) {
-            auto plan = analyticalQuery(q);
-            // Functional profiling against the *live* data (delta
-            // included) with the run's cache and buffer pool: the
-            // measured miss rate reflects OLTP/DSS cache interference.
-            const uint64_t a0 = dss_feed.accesses();
-            const uint64_t m0 = dss_feed.misses();
-            OptimizerConfig cfg;
-            cfg.maxdop = std::min(run.config().maxdop,
-                                  run.config().cores);
-            if (run.autopilot) {
-                // Per-tenant MAXDOP cap at plan choice: the optimizer
-                // sees the capped DOP, so serial-threshold and join
-                // decisions adapt to the current lease.
-                cfg.maxdopCap = run.autopilot->maxdopCap(kTenantOlap);
-            }
-            const auto pq =
-                profileQuery(db, *plan, cfg, &run.pool, &dss_feed);
-            const uint64_t da = dss_feed.accesses() - a0;
-            const uint64_t dm = dss_feed.misses() - m0;
-            ReplayParams params;
-            params.dop = pq.parallelPlan
-                             ? std::min(cfg.maxdop,
-                                        cfg.maxdopCap > 0
-                                            ? cfg.maxdopCap
-                                            : cfg.maxdop)
-                             : 1;
-            params.grantBytes = run.queryGrantBytes();
-            params.missRate = da ? double(dm) / double(da) : 0.05;
-            params.tenant = kTenantOlap;
-            if (run.autopilot) {
-                // The autopilot resizes the grant gate; admission
-                // control bounds in-flight query memory against the
-                // tenant's current budget. `granted` records the
-                // exact reservation (possibly re-clamped below the
-                // request by a shrink while queued) so release never
-                // underflows — and the query replays with the memory
-                // it actually got, spilling if the budget shrank.
-                uint64_t granted = 0;
-                const SimTime grant_start = run.loop.now();
-                const bool ok = co_await run.grants.acquire(
-                    params.grantBytes, &granted);
-                if (run.obs)
-                    run.obs->chargeGrantWait(kTenantOlap, grant_start,
-                                             run.loop.now());
-                if (!ok) {
-                    ++run.queriesShed;
-                    continue;
-                }
-                params.grantBytes = granted;
-                co_await replayQuery(run, pq.profile, params);
-                run.grants.release(granted);
-            } else {
-                co_await replayQuery(run, pq.profile, params);
-            }
-        }
+        for (int q = 0; q < kAnalyticalQueries && run.running(); ++q)
+            co_await analyticalOnce(run, db, dss_feed, q,
+                                    shed_streak);
+    }
+}
+
+Task<void>
+HtapWorkload::surgeSession(SimRun &run, Database &db, int idx)
+{
+    const SimTime until = surgeAt_ + surgeFor_;
+    if (surgeAt_ > run.loop.now())
+        co_await SimDelay(run.loop, surgeAt_ - run.loop.now());
+    LiveCacheFeed dss_feed(run.llc,
+                           run.autopilot ? kTenantOlap : 0);
+    int shed_streak = 0;
+    // Stagger the crowd's starting query so the burst is not one
+    // lock-step convoy.
+    int q = idx % kAnalyticalQueries;
+    while (run.running() && run.loop.now() < until) {
+        co_await analyticalOnce(run, db, dss_feed, q, shed_streak);
+        q = (q + 1) % kAnalyticalQueries;
     }
 }
 

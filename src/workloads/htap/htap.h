@@ -36,12 +36,10 @@ class HtapWorkload : public tpce::TpceWorkload
         return tpce::generateDb(sf_, seed, /*with_ncci=*/true);
     }
 
-    int sessionCount() const override { return sessions_ + 1; }
-
     int
-    tenantSessions(int tenant) const override
+    sessionCount() const override
     {
-        return tenant == 0 ? sessions_ : 1;
+        return sessions_ + 1 + surgeSessions_;
     }
 
     void startSessions(SimRun &run, Database &db,
@@ -52,6 +50,40 @@ class HtapWorkload : public tpce::TpceWorkload
 
     /** Background tuple mover compressing the NCCI delta. */
     Task<void> tupleMover(SimRun &run, Database &db);
+
+    /**
+     * Flash crowd: `sessions` extra analytical users that pile on in
+     * [at, at+dur) and then leave — the open-loop overload burst the
+     * resilience controller exists to shed (bench_fig12_resilience).
+     * 0 sessions (the default) spawns nothing.
+     */
+    void
+    setSurge(int sessions, SimTime at, SimDuration dur)
+    {
+        surgeSessions_ = sessions;
+        surgeAt_ = at;
+        surgeFor_ = dur;
+    }
+
+    int
+    tenantSessions(int tenant) const override
+    {
+        return tenant == 0 ? sessions_ : 1 + surgeSessions_;
+    }
+
+  private:
+    /** One analytical query: admission, plan, grant, replay. */
+    Task<void> analyticalOnce(SimRun &run, Database &db,
+                              LiveCacheFeed &dss_feed, int q,
+                              int &shed_streak);
+
+    /** One member of the flash crowd (cycles queries until the
+     * surge window closes). */
+    Task<void> surgeSession(SimRun &run, Database &db, int idx);
+
+    int surgeSessions_ = 0;
+    SimTime surgeAt_ = 0;
+    SimDuration surgeFor_ = 0;
 };
 
 } // namespace htap

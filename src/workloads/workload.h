@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "core/backoff.h"
 #include "core/random.h"
 #include "engine/sim_run.h"
 
@@ -66,12 +67,8 @@ retryBackoff(Rng &rng)
 inline SimDuration
 victimRetryBackoff(Rng &rng, int attempt, const RunConfig &cfg)
 {
-    SimDuration d = cfg.txnRetryBackoffBase;
-    for (int i = 1; i < attempt && d < cfg.txnRetryBackoffCap; ++i)
-        d = d * 2;
-    if (d > cfg.txnRetryBackoffCap)
-        d = cfg.txnRetryBackoffCap;
-    return d + SimDuration(rng.uniform(uint64_t(d / 2 + 1)));
+    return cappedExpBackoff(cfg.txnRetryBackoffBase,
+                            cfg.txnRetryBackoffCap, attempt, rng);
 }
 
 } // namespace dbsens

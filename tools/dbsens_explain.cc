@@ -10,7 +10,9 @@
  *
  * The report may be a single bench report or a merged document
  * (report_tool merge); every `obs` object found under results/ is
- * rendered. `--json` re-emits just the obs objects (keyed by their
+ * rendered, along with every enabled `resil` object (incident
+ * timeline and degradation-ladder transitions from the resilience
+ * controller). `--json` re-emits just those objects (keyed by their
  * result path) for scripting. Built only on the in-tree Json class.
  */
 
@@ -160,7 +162,92 @@ renderObs(const std::string &label, const Json &obs)
     }
 }
 
-/** Depth-first hunt for "obs" objects; path labels each hit. */
+/** Names for the degradation-ladder rungs (resil/ladder.h order). */
+const char *
+rungName(int rung)
+{
+    switch (rung) {
+    case 0: return "normal";
+    case 1: return "dop-clamp";
+    case 2: return "grant-shrink";
+    case 3: return "admission";
+    case 4: return "oltp-priority";
+    default: return "?";
+    }
+}
+
+/** Decode the kCause* incident bitmask (resil/resil.h order). */
+std::string
+causeNames(unsigned bits)
+{
+    static const char *kNames[] = {"slo", "brownout", "retry-storm",
+                                   "shed"};
+    std::string out;
+    for (unsigned i = 0; i < 4; ++i)
+        if (bits & (1u << i)) {
+            if (!out.empty())
+                out += "+";
+            out += kNames[i];
+        }
+    return out.empty() ? "(none)" : out;
+}
+
+void
+renderResil(const std::string &label, const Json &r)
+{
+    std::printf("\n=== %s ===\n", label.c_str());
+    std::printf("resilience: %d incident(s) over %.1f ms, "
+                "%d escalation(s) / %d de-escalation(s), max rung %d "
+                "(%s), %d tuning freeze(s), digest %s\n",
+                int(num(r, "incidents")), num(r, "incident_ms"),
+                int(num(r, "escalations")),
+                int(num(r, "deescalations")), int(num(r, "max_rung")),
+                rungName(int(num(r, "max_rung"))),
+                int(num(r, "freezes")),
+                str(r, "incident_digest").c_str());
+    std::printf("admission: oltp %llu admitted / %llu shed, "
+                "olap %llu admitted / %llu shed\n",
+                (unsigned long long)num(r, "oltp_admitted"),
+                (unsigned long long)num(r, "oltp_admit_sheds"),
+                (unsigned long long)num(r, "olap_admitted"),
+                (unsigned long long)num(r, "olap_admit_sheds"));
+
+    // ----------------------------------------------- incident timeline
+    if (r.contains("episodes") && r.at("episodes").size() > 0) {
+        std::printf("\nincident timeline:\n");
+        for (const Json &e : r.at("episodes").items()) {
+            const double start = num(e, "start_ms");
+            const double end = num(e, "end_ms", -1);
+            char span[64];
+            if (end < 0)
+                std::snprintf(span, sizeof span,
+                              "%8.1f ms ..   (open)   ", start);
+            else
+                std::snprintf(span, sizeof span,
+                              "%8.1f ms .. %8.1f ms", start, end);
+            std::printf("  #%-3d %s  peak pressure %6.2f  %s\n",
+                        int(num(e, "id")), span,
+                        num(e, "peak_pressure"),
+                        causeNames(unsigned(num(e, "causes")))
+                            .c_str());
+        }
+    }
+
+    // ------------------------------------------------ ladder movement
+    if (r.contains("transitions") && r.at("transitions").size() > 0) {
+        std::printf("\nladder transitions:\n");
+        for (const Json &t : r.at("transitions").items()) {
+            const int from = int(num(t, "from"));
+            const int to = int(num(t, "to"));
+            std::printf("  %10.1f ms  %s  %d (%s) -> %d (%s)\n",
+                        num(t, "at_ms"), to > from ? "up  " : "down",
+                        from, rungName(from), to, rungName(to));
+        }
+    }
+}
+
+/** Depth-first hunt for "obs" and enabled "resil" objects; the
+ * path labels each hit, the key tells the renderer apart. */
 void
 collect(const Json &node, const std::string &path,
         std::vector<std::pair<std::string, const Json *>> *out)
@@ -172,6 +259,10 @@ collect(const Json &node, const std::string &path,
             path.empty() ? m.first : path + "." + m.first;
         if (m.first == "obs" && m.second.isObject() &&
             m.second.contains("tenants"))
+            out->push_back({sub, &m.second});
+        else if (m.first == "resil" && m.second.isObject() &&
+                 m.second.contains("enabled") &&
+                 m.second.at("enabled").asBool())
             out->push_back({sub, &m.second});
         else
             collect(m.second, sub, out);
@@ -214,9 +305,10 @@ main(int argc, char **argv)
     std::vector<std::pair<std::string, const Json *>> hits;
     collect(doc, "", &hits);
     if (hits.empty()) {
-        std::fprintf(stderr, "dbsens_explain: %s holds no obs "
-                     "section (run the bench with --json and "
-                     "RunConfig::obs enabled)\n", path.c_str());
+        std::fprintf(stderr, "dbsens_explain: %s holds no obs or "
+                     "resil section (run the bench with --json and "
+                     "RunConfig::obs or RunConfig::resil enabled)\n",
+                     path.c_str());
         return 1;
     }
 
@@ -227,7 +319,15 @@ main(int argc, char **argv)
         std::printf("%s\n", out.dump(2).c_str());
         return 0;
     }
-    for (const auto &h : hits)
-        renderObs(h.first, *h.second);
+    for (const auto &h : hits) {
+        const size_t dot = h.first.rfind('.');
+        const std::string key =
+            dot == std::string::npos ? h.first
+                                     : h.first.substr(dot + 1);
+        if (key == "resil")
+            renderResil(h.first, *h.second);
+        else
+            renderObs(h.first, *h.second);
+    }
     return 0;
 }
