@@ -5,6 +5,8 @@
 #   ./run_benches.sh wallclock  host wall-clock bench -> BENCH_wallclock.json
 #   ./run_benches.sh report     all paper benches with --json, merged
 #                               into BENCH_report.json (+ reports/*.json)
+#   ./run_benches.sh fig13      full-scale fleet chaos sweep
+#                               -> reports/bench_fig13_fleet.json
 set -u
 cd "$(dirname "$0")"
 
@@ -22,6 +24,17 @@ PAPER_BENCHES="bench_table2_sizes bench_table3_waits \
 FIG10="bench_fig10_autopilot --small"
 FIG11="bench_fig11_attribution --small"
 FIG12="bench_fig12_resilience --small"
+FIG13="bench_fig13_fleet --small"
+
+if [ "${1:-}" = "fig13" ]; then
+    # Full-scale fleet sweep (node count x crash intensity); the
+    # verdict gates on zero consistency violations and 100% in-doubt
+    # resolution, so a non-zero exit here is a correctness bug.
+    mkdir -p reports
+    build/bench/bench_fig13_fleet --json reports/bench_fig13_fleet.json \
+        || echo "BENCH FAILED: bench_fig13_fleet" >&2
+    exit 0
+fi
 
 if [ "${1:-}" = "wallclock" ]; then
     build/bench/bench_wallclock > BENCH_wallclock.json \
@@ -69,6 +82,14 @@ if [ "${1:-}" = "report" ]; then
     else
         echo "BENCH FAILED: bench_fig12_resilience" >&2
     fi
+    echo ""
+    echo "##### bench_fig13_fleet (--small --json) #####"
+    # shellcheck disable=SC2086
+    if build/bench/$FIG13 --json reports/bench_fig13_fleet.json; then
+        collected="$collected reports/bench_fig13_fleet.json"
+    else
+        echo "BENCH FAILED: bench_fig13_fleet" >&2
+    fi
     # shellcheck disable=SC2086
     build/tools/report_tool merge BENCH_report.json $collected
     exit 0
@@ -91,3 +112,7 @@ echo ""
 echo "##### build/bench/$FIG12 #####"
 # shellcheck disable=SC2086
 build/bench/$FIG12 || echo "BENCH FAILED: bench_fig12_resilience"
+echo ""
+echo "##### build/bench/$FIG13 #####"
+# shellcheck disable=SC2086
+build/bench/$FIG13 || echo "BENCH FAILED: bench_fig13_fleet"

@@ -1,0 +1,403 @@
+#include "cluster/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "core/backoff.h"
+#include "core/fault.h"
+
+namespace dbsens {
+namespace cluster {
+
+namespace {
+
+/** Fold a database's per-table digests into one value. */
+uint64_t
+foldDigest(const std::map<std::string, uint64_t> &per_table)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (const auto &[name, d] : per_table) {
+        for (char c : name) {
+            h ^= uint64_t(uint8_t(c));
+            h *= 1099511628211ULL;
+        }
+        h ^= d;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+uint64_t
+FleetResult::totalCommitted() const
+{
+    uint64_t n = 0;
+    for (const TenantStats &t : tenants)
+        n += t.committed;
+    return n;
+}
+
+uint64_t
+FleetResult::totalSubmitted() const
+{
+    uint64_t n = 0;
+    for (const TenantStats &t : tenants)
+        n += t.submitted;
+    return n;
+}
+
+Fleet::Fleet(const ClusterConfig &cfg)
+    : cfg_(cfg), router_(cfg.nodes, cfg.rowsPerShard),
+      net_(loop_, cfg.net, deriveNodeFaultSeed(cfg.seed, 1000)),
+      arrivalRng_(deriveNodeFaultSeed(cfg.seed, 2000)),
+      chaosRng_(deriveNodeFaultSeed(cfg.seed, 3000)),
+      zipf_(uint64_t(cfg.rowsPerShard), cfg.zipfTheta)
+{
+    for (int n = 0; n < cfg.nodes; ++n)
+        nodes_.push_back(
+            std::make_unique<ClusterNode>(n, cfg_, loop_, net_));
+    for (auto &node : nodes_)
+        node->setPeerFn(
+            [this](int n) -> ClusterNode & { return *nodes_[size_t(n)]; });
+    net_.setPeers(NetModel::Peers{
+        [this](int n) { return nodes_[size_t(n)]->up(); },
+        [this](int n) { return nodes_[size_t(n)]->domain(); }});
+}
+
+Fleet::~Fleet() = default;
+
+double
+Fleet::rateAt(int tenant, SimTime t) const
+{
+    const double base = cfg_.arrivalsPerMs / double(milliseconds(1));
+    const double phase =
+        2.0 * M_PI * double(t) / double(cfg_.diurnalPeriod);
+    double r = base * (1.0 + cfg_.diurnalAmplitude * std::sin(phase));
+    if (tenant == 0 && t >= cfg_.flashStart &&
+        t < cfg_.flashStart + cfg_.flashDuration)
+        r *= cfg_.flashFactor;
+    return r;
+}
+
+void
+Fleet::drawArrivals(int tenant, std::vector<Arrival> &out)
+{
+    // Thinned Poisson process: draw candidates at the peak rate and
+    // accept with rate(t)/peak, giving the diurnal + flash shape.
+    double peak = cfg_.arrivalsPerMs / double(milliseconds(1)) *
+                  (1.0 + cfg_.diurnalAmplitude);
+    if (tenant == 0)
+        peak *= std::max(1.0, cfg_.flashFactor);
+    double t = 0;
+    while (true) {
+        t += arrivalRng_.exponential(1.0 / peak);
+        if (SimTime(t) >= cfg_.window)
+            break;
+        const SimTime at = SimTime(t);
+        if (!arrivalRng_.chance(rateAt(tenant, at) / peak))
+            continue;
+
+        Arrival a;
+        a.tenant = tenant;
+        a.at = at;
+        const int s1 = int(arrivalRng_.uniform(uint64_t(cfg_.nodes)));
+        const int64_t k1 = router_.catalog(s1).keyLo +
+                           int64_t(zipf_(arrivalRng_));
+        int s2 = s1;
+        if (cfg_.nodes > 1 &&
+            arrivalRng_.chance(cfg_.crossShardFraction)) {
+            s2 = int(arrivalRng_.uniform(uint64_t(cfg_.nodes - 1)));
+            if (s2 >= s1)
+                ++s2;
+        }
+        int64_t k2 = router_.catalog(s2).keyLo +
+                     int64_t(zipf_(arrivalRng_));
+        while (k2 == k1)
+            k2 = router_.catalog(s2).keyLo +
+                 int64_t(arrivalRng_.uniform(uint64_t(cfg_.rowsPerShard)));
+        const int64_t amount = 1 + int64_t(arrivalRng_.uniform(10));
+        a.ops.push_back(TxnOp{k1, -amount});
+        a.ops.push_back(TxnOp{k2, amount});
+        a.shards.push_back(s1);
+        if (s2 != s1)
+            a.shards.push_back(s2);
+        std::sort(a.shards.begin(), a.shards.end());
+        out.push_back(std::move(a));
+    }
+}
+
+Task<void>
+Fleet::clientTask(Arrival a)
+{
+    TenantStats &ten = tenants_[size_t(a.tenant)];
+    ++ten.submitted;
+    if (a.shards.size() > 1)
+        ++ten.crossShard;
+    const SimTime arrived = loop_.now();
+
+    for (int attempt = 0; attempt <= cfg_.clientRetries; ++attempt) {
+        const int coordNode = router_.route(a.ops[0].key);
+        ClusterNode &coord = *nodes_[size_t(coordNode)];
+        if (!coord.up()) {
+            if (attempt == cfg_.clientRetries) {
+                ++ten.rejected;
+                co_return;
+            }
+            co_await SimDelay(
+                loop_, cappedExpDelay(microseconds(500),
+                                      milliseconds(4), attempt + 1));
+            continue;
+        }
+        ++ten.attempts;
+        auto slot =
+            std::make_shared<TxnOutcome>(TxnOutcome::Pending);
+        auto done = [slot](TxnOutcome o) { *slot = o; };
+        if (a.shards.size() == 1) {
+            coord.submitLocal(a.ops, done);
+        } else {
+            std::vector<BranchSpec> branches;
+            for (int s : a.shards) {
+                BranchSpec br;
+                br.node = s;
+                for (const TxnOp &op : a.ops)
+                    if (router_.route(op.key) == s)
+                        br.ops.push_back(op);
+                branches.push_back(std::move(br));
+            }
+            // A fresh gtid per attempt: a retried transaction is a
+            // new global transaction, never a replay of the old one.
+            const uint64_t gtid = makeGtid(coordNode, ++gtidSeq_);
+            coord.submitCoordinated(gtid, std::move(branches), done);
+        }
+
+        const SimTime deadline = loop_.now() + cfg_.clientDeadline;
+        while (*slot == TxnOutcome::Pending && loop_.now() < deadline)
+            co_await SimDelay(loop_, microseconds(200));
+
+        if (*slot == TxnOutcome::Committed) {
+            ++ten.committed;
+            ten.latencyMs.add(double(loop_.now() - arrived) /
+                              double(milliseconds(1)));
+            co_return;
+        }
+        if (*slot == TxnOutcome::Pending) {
+            // Deadline passed with no decision (node crash or network
+            // stall mid-protocol). The outcome is unknowable here and
+            // a retry could double-apply; recovery resolves the gtid.
+            ++ten.unknown;
+            co_return;
+        }
+        // Decided abort: safe to retry with a fresh gtid.
+        if (attempt == cfg_.clientRetries) {
+            ++ten.aborted;
+            co_return;
+        }
+        co_await SimDelay(loop_,
+                          cappedExpDelay(microseconds(500),
+                                         milliseconds(4), attempt + 1));
+    }
+}
+
+Task<void>
+Fleet::chaosTask(int node, SimTime crash_at)
+{
+    co_await SimDelay(loop_, crash_at - loop_.now());
+    ClusterNode &n = *nodes_[size_t(node)];
+    if (!n.up())
+        co_return; // already down from an overlapping schedule
+    n.crash();
+    ++crashesInjected_;
+    events_.push_back({node, loop_.now(), "crash"});
+    co_await SimDelay(loop_, cfg_.restartDelay);
+    if (!n.up()) {
+        events_.push_back({node, loop_.now(), "restart"});
+        n.restart();
+    }
+}
+
+FleetResult
+Fleet::run()
+{
+    for (auto &n : nodes_)
+        n->boot();
+    tenants_.assign(size_t(cfg_.tenants), TenantStats{});
+
+    // Schedule every arrival up front (open loop: submission times do
+    // not depend on service times).
+    for (int t = 0; t < cfg_.tenants; ++t) {
+        std::vector<Arrival> arrivals;
+        drawArrivals(t, arrivals);
+        for (Arrival &a : arrivals) {
+            const SimTime at = a.at;
+            loop_.at(at, [this, a = std::move(a)]() mutable {
+                loop_.spawn(clientTask(std::move(a)));
+            });
+        }
+    }
+
+    // Chaos regime: crashesPerNode expected crashes per node, crash
+    // times uniform inside the middle of the window so the restart
+    // (and its recovery) also lands inside it.
+    for (int n = 0; n < cfg_.nodes; ++n) {
+        const double expect = cfg_.crashesPerNode;
+        int count = int(expect);
+        if (chaosRng_.chance(expect - double(count)))
+            ++count;
+        for (int c = 0; c < count; ++c) {
+            const SimTime lo = cfg_.window / 10;
+            const SimTime hi = (cfg_.window * 8) / 10;
+            const SimTime at =
+                lo + SimTime(chaosRng_.uniform(uint64_t(hi - lo)));
+            loop_.at(at, [this, n, at] {
+                loop_.spawn(chaosTask(n, at));
+            });
+        }
+    }
+
+    // Heal-and-drain: at the window edge the network stops losing and
+    // duplicating messages, every down node restarts, and the tail
+    // gives retries and in-doubt inquiries time to resolve everything.
+    loop_.at(cfg_.window, [this] {
+        net_.heal();
+        arrivalsOpen_ = false;
+        for (size_t i = 0; i < nodes_.size(); ++i)
+            if (!nodes_[i]->up()) {
+                events_.push_back(
+                    {int(i), loop_.now(), "heal-restart"});
+                nodes_[i]->restart();
+            }
+    });
+
+    loop_.runUntil(cfg_.window + cfg_.drain);
+    // Give stragglers bounded extra time (lock queues + inquiry
+    // backoff can exceed the nominal drain under heavy chaos).
+    for (int extra = 0; extra < 10; ++extra) {
+        bool quiet = true;
+        for (auto &n : nodes_)
+            if (!n->quiesced())
+                quiet = false;
+        if (quiet)
+            break;
+        loop_.runUntil(loop_.now() + milliseconds(10));
+    }
+
+    FleetResult r;
+    r.tenants = tenants_;
+    r.events = events_;
+    std::stable_sort(r.events.begin(), r.events.end(),
+                     [](const FleetEvent &a, const FleetEvent &b) {
+                         return a.at < b.at ||
+                                (a.at == b.at && a.node < b.node);
+                     });
+    for (auto &n : nodes_)
+        r.nodes.push_back(n->stats());
+    r.netSent = net_.sent();
+    r.netDropped = net_.dropped();
+    r.netDuplicated = net_.duplicated();
+    r.crashesInjected = crashesInjected_;
+    for (auto &n : nodes_) {
+        r.inDoubtUnresolved += uint64_t(n->unresolvedCount());
+        r.inDoubtResolved += n->stats().inDoubtCommitted +
+                             n->stats().inDoubtAborted;
+    }
+    audit(r);
+    return r;
+}
+
+void
+Fleet::audit(FleetResult &r)
+{
+    // Per-node serializability: replay each node's full history
+    // against a pristine regeneration of its shard and compare
+    // digests with the state the chaotic run actually produced.
+    for (auto &n : nodes_) {
+        auto oracle = ClusterNode::makeShardDb(cfg_, n->id());
+        verify::replayOracle(n->db(), *oracle, n->history(), r.audit);
+    }
+
+    // Cross-shard atomicity: group branches by gtid via their Prepare
+    // records; a gtid must not have both a committed branch and an
+    // aborted one, nor a prepared branch that never resolved.
+    struct GtidState
+    {
+        int committed = 0;
+        int aborted = 0;
+        int unresolved = 0;
+    };
+    std::map<uint64_t, GtidState> gtids;
+    for (auto &n : nodes_) {
+        std::map<TxnId, uint64_t> txnGtid;
+        std::set<TxnId> decided;
+        for (const WalRecord &rec : n->history().records()) {
+            switch (rec.kind) {
+            case WalRecord::Kind::Prepare:
+                txnGtid[rec.txn] = rec.gtid;
+                break;
+            case WalRecord::Kind::Commit: {
+                auto it = txnGtid.find(rec.txn);
+                if (it != txnGtid.end()) {
+                    ++gtids[it->second].committed;
+                    decided.insert(rec.txn);
+                }
+                break;
+            }
+            case WalRecord::Kind::Abort: {
+                auto it = txnGtid.find(rec.txn);
+                if (it != txnGtid.end()) {
+                    ++gtids[it->second].aborted;
+                    decided.insert(rec.txn);
+                }
+                break;
+            }
+            default:
+                break;
+            }
+        }
+        for (const auto &[txn, gtid] : txnGtid)
+            if (!decided.count(txn))
+                ++gtids[gtid].unresolved;
+    }
+    for (const auto &[gtid, st] : gtids) {
+        if (st.committed > 0 && st.aborted > 0)
+            r.audit.add("atomicity",
+                        "gtid " + std::to_string(gtid) +
+                            " committed on " +
+                            std::to_string(st.committed) +
+                            " node(s) but aborted on " +
+                            std::to_string(st.aborted));
+        if (st.unresolved > 0)
+            r.audit.add("atomicity",
+                        "gtid " + std::to_string(gtid) + " left " +
+                            std::to_string(st.unresolved) +
+                            " branch(es) prepared but unresolved");
+    }
+
+    // Conservation: transfers move balance between accounts; the
+    // fleet-wide sum must equal its initial value exactly.
+    int64_t total = 0;
+    for (auto &n : nodes_) {
+        const auto &col = n->db().table("acct").data->column("bal");
+        for (int64_t k = 0; k < cfg_.rowsPerShard; ++k)
+            total += col.getInt(RowId(k));
+    }
+    const int64_t expect = router_.totalKeys() * kInitialBalance;
+    if (total != expect)
+        r.audit.add("conservation",
+                    "fleet balance sum " + std::to_string(total) +
+                        " != initial " + std::to_string(expect));
+}
+
+std::vector<uint64_t>
+Fleet::nodeDigests()
+{
+    std::vector<uint64_t> out;
+    for (auto &n : nodes_)
+        out.push_back(foldDigest(verify::databaseDigest(n->db())));
+    return out;
+}
+
+} // namespace cluster
+} // namespace dbsens

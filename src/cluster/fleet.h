@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Fleet: the top-level cluster experiment. Boots N ClusterNodes on one
+ * shared EventLoop, drives open-loop multi-tenant arrivals (diurnal
+ * modulation plus a flash crowd) through the shard router, schedules a
+ * seeded crash/restart chaos regime, then heals the network, drains
+ * every retry and in-doubt inquiry to completion, and audits the
+ * result: per-node serializability oracles, a cross-shard atomicity
+ * check over the WAL histories, and fleet-wide balance conservation.
+ */
+
+#ifndef DBSENS_CLUSTER_FLEET_H
+#define DBSENS_CLUSTER_FLEET_H
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/net.h"
+#include "cluster/node.h"
+#include "core/histogram.h"
+#include "verify/verify.h"
+
+namespace dbsens {
+namespace cluster {
+
+/** Per-tenant client-side outcome accounting. */
+struct TenantStats
+{
+    uint64_t submitted = 0;   ///< arrivals (before retries)
+    uint64_t attempts = 0;    ///< submissions including retries
+    uint64_t committed = 0;
+    uint64_t aborted = 0;     ///< decided abort after all retries
+    uint64_t rejected = 0;    ///< coordinator down after all retries
+    uint64_t unknown = 0;     ///< deadline passed, never retried
+    uint64_t crossShard = 0;
+    Distribution latencyMs;   ///< arrival -> final outcome, ms
+};
+
+/** One node-lifecycle event on the fleet timeline. */
+struct FleetEvent
+{
+    int node = 0;
+    SimTime at = 0;
+    std::string kind; ///< "crash" | "restart" | "heal-restart"
+};
+
+/** Everything one fleet episode produced. */
+struct FleetResult
+{
+    std::vector<TenantStats> tenants;
+    std::vector<NodeStats> nodes;
+    /** Crash/restart timeline, ordered by (time, node). */
+    std::vector<FleetEvent> events;
+
+    uint64_t netSent = 0;
+    uint64_t netDropped = 0;
+    uint64_t netDuplicated = 0;
+
+    uint64_t crashesInjected = 0;
+    /** Prepared/in-doubt branches still unresolved after the drain
+     * (the verdict requires zero). */
+    uint64_t inDoubtUnresolved = 0;
+    /** In-doubt branches recovered from a crashed node's WAL and
+     * later resolved via the coordinator's decision log / inquiry. */
+    uint64_t inDoubtResolved = 0;
+
+    verify::AuditReport audit;
+
+    uint64_t totalCommitted() const;
+    uint64_t totalSubmitted() const;
+
+    bool
+    passed() const
+    {
+        return audit.ok() && inDoubtUnresolved == 0;
+    }
+};
+
+/** N crash-restartable shard nodes on one deterministic loop. */
+class Fleet
+{
+  public:
+    explicit Fleet(const ClusterConfig &cfg);
+    ~Fleet();
+
+    ClusterNode &node(int n) { return *nodes_[size_t(n)]; }
+    int nodeCount() const { return int(nodes_.size()); }
+    const ShardRouter &router() const { return router_; }
+    EventLoop &loop() { return loop_; }
+    NetModel &net() { return net_; }
+
+    /**
+     * Run the full episode: arrivals + chaos in [0, window), heal and
+     * restart at `window`, drain, audit. Deterministic in cfg.seed.
+     */
+    FleetResult run();
+
+    /** Per-node database digest (for chaos episode digests). */
+    std::vector<uint64_t> nodeDigests();
+
+  private:
+    struct Arrival
+    {
+        int tenant = 0;
+        SimTime at = 0;
+        std::vector<TxnOp> ops;
+        std::vector<int> shards; ///< distinct shards touched, sorted
+    };
+
+    Task<void> clientTask(Arrival a);
+    Task<void> chaosTask(int node, SimTime crash_at);
+
+    /** Draw every arrival for one tenant over [0, window). */
+    void drawArrivals(int tenant, std::vector<Arrival> &out);
+
+    /** Instantaneous arrival rate for a tenant (per ns). */
+    double rateAt(int tenant, SimTime t) const;
+
+    void audit(FleetResult &r);
+
+    ClusterConfig cfg_;
+    EventLoop loop_;
+    ShardRouter router_;
+    NetModel net_;
+    std::vector<std::unique_ptr<ClusterNode>> nodes_;
+    Rng arrivalRng_;
+    Rng chaosRng_;
+    ZipfSampler zipf_;
+    uint64_t gtidSeq_ = 0;
+    uint64_t crashesInjected_ = 0;
+    std::vector<FleetEvent> events_;
+    std::vector<TenantStats> tenants_;
+    bool arrivalsOpen_ = true;
+};
+
+} // namespace cluster
+} // namespace dbsens
+
+#endif // DBSENS_CLUSTER_FLEET_H

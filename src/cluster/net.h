@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Seeded network model between cluster nodes: every inter-node
+ * message draws delay, loss, and duplication from one deterministic
+ * stream, and deliveries are dispatched in the root domain with an
+ * up-check before entering the destination node's current incarnation
+ * domain — so messages survive a receiver restart (exercising
+ * duplicate/reordered delivery paths) while replies into a dead
+ * incarnation are dropped with it.
+ */
+
+#ifndef DBSENS_CLUSTER_NET_H
+#define DBSENS_CLUSTER_NET_H
+
+#include <cstdint>
+#include <functional>
+
+#include "cluster/cluster.h"
+#include "core/random.h"
+#include "sim/event_loop.h"
+
+namespace dbsens {
+namespace cluster {
+
+class NetModel
+{
+  public:
+    /** Destination view: is the node up, and which incarnation
+     * domain should the delivery run in. */
+    struct Peers
+    {
+        std::function<bool(int)> up;
+        std::function<DomainId(int)> domain;
+    };
+
+    NetModel(EventLoop &loop, const NetConfig &cfg, uint64_t seed)
+        : loop_(loop), cfg_(cfg), rng_(seed)
+    {
+    }
+
+    void setPeers(Peers p) { peers_ = std::move(p); }
+
+    /** Drop loss and duplication (the post-window heal). */
+    void
+    heal()
+    {
+        cfg_.lossRate = 0;
+        cfg_.dupRate = 0;
+    }
+
+    /**
+     * Send `fn` from node `from` to node `to`. Self-sends bypass the
+     * fault draws (a node does not lose messages to itself) but still
+     * go through the queue for deterministic ordering.
+     */
+    void send(int from, int to, std::function<void()> fn);
+
+    uint64_t sent() const { return sent_; }
+    uint64_t delivered() const { return delivered_; }
+    uint64_t dropped() const { return dropped_; }
+    uint64_t duplicated() const { return duplicated_; }
+    uint64_t deadDestination() const { return deadDest_; }
+
+  private:
+    void deliverAt(SimTime t, int to, std::function<void()> fn);
+
+    EventLoop &loop_;
+    NetConfig cfg_;
+    Rng rng_;
+    Peers peers_;
+    uint64_t sent_ = 0;
+    uint64_t delivered_ = 0;
+    uint64_t dropped_ = 0;
+    uint64_t duplicated_ = 0;
+    uint64_t deadDest_ = 0;
+};
+
+} // namespace cluster
+} // namespace dbsens
+
+#endif // DBSENS_CLUSTER_NET_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Presumed-abort two-phase commit message types and transaction
+ * specs. The wire protocol (over cluster/net.h):
+ *
+ *   coordinator -> participant : ExecPrepare (execute branch, harden
+ *                                Prepare, vote) — retried with capped
+ *                                exponential backoff until a vote
+ *                                arrives or the prepare budget ends
+ *   participant -> coordinator : Vote (yes after the Prepare record
+ *                                is durable / no after local abort)
+ *   coordinator -> participant : Decision (commit decisions are
+ *                                logged + flushed first; aborts are
+ *                                presumed and never logged) — retried
+ *                                until acked
+ *   participant -> coordinator : DecisionAck
+ *   participant -> coordinator : DecisionRequest (in-doubt inquiry;
+ *                                unknown gtid => abort, the presumed-
+ *                                abort rule)
+ */
+
+#ifndef DBSENS_CLUSTER_TWOPC_H
+#define DBSENS_CLUSTER_TWOPC_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dbsens {
+namespace cluster {
+
+/** One balance-transfer step against a single key. */
+struct TxnOp
+{
+    int64_t key = 0;
+    int64_t delta = 0;
+};
+
+/** One branch: the ops a single shard executes for a gtid. */
+struct BranchSpec
+{
+    int node = 0;
+    std::vector<TxnOp> ops;
+};
+
+/** Client-visible transaction outcome. */
+enum class TxnOutcome : uint8_t {
+    Pending,   ///< not yet decided
+    Committed,
+    Aborted,   ///< decided abort (safe to retry with a new gtid)
+    Rejected,  ///< coordinator node down at submission
+    Unknown,   ///< client deadline passed with no reply (the gtid
+               ///< still resolves via recovery; never client-retried)
+};
+
+struct ExecPrepareMsg
+{
+    uint64_t gtid = 0;
+    int coordNode = 0;
+    std::vector<TxnOp> ops;
+};
+
+struct VoteMsg
+{
+    uint64_t gtid = 0;
+    int fromNode = 0;
+    bool yes = false;
+};
+
+struct DecisionMsg
+{
+    uint64_t gtid = 0;
+    bool commit = false;
+};
+
+struct DecisionAckMsg
+{
+    uint64_t gtid = 0;
+    int fromNode = 0;
+};
+
+struct DecisionRequestMsg
+{
+    uint64_t gtid = 0;
+    int fromNode = 0;
+};
+
+} // namespace cluster
+} // namespace dbsens
+
+#endif // DBSENS_CLUSTER_TWOPC_H

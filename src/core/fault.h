@@ -102,6 +102,20 @@ struct FaultConfig
     }
 };
 
+/**
+ * Expand a base fault seed into an independent per-node stream: each
+ * node's injector seeds from (base, node id) alone, so adding or
+ * removing a node never shifts another node's fault draws. The
+ * SplitMix64 pass decorrelates adjacent node ids.
+ */
+inline uint64_t
+deriveNodeFaultSeed(uint64_t base, int node)
+{
+    SplitMix64 sm(base ^ (0x9e3779b97f4a7c15ULL * (uint64_t(node) + 1)));
+    sm.next();
+    return sm.next();
+}
+
 /** Cumulative fault/recovery counters (the `fault.*` stats). */
 struct FaultCounters
 {

@@ -1,5 +1,6 @@
 #include "engine/recovery.h"
 
+#include <unordered_map>
 #include <unordered_set>
 
 #include "core/calibration.h"
@@ -43,23 +44,45 @@ isDataRecord(const WalRecord &r)
 } // namespace
 
 RecoveryStats
-replayWal(Database &db, WalJournal &journal, uint64_t durable_lsn)
+replayWal(Database &db, WalJournal &journal, uint64_t durable_lsn,
+          std::vector<InDoubtTxn> *in_doubt)
 {
     RecoveryStats st;
     const auto &records = journal.records();
 
     // Analysis: winners have a durable commit record. Transactions
     // aborted at run time already applied their undo in place.
+    // Durable Prepare records mark 2PC branches as in-doubt unless a
+    // durable decision outcome also made it to the log.
     std::unordered_set<TxnId> winners;
     std::unordered_set<TxnId> aborted;
+    std::unordered_map<TxnId, uint64_t> prepared;
     for (const WalRecord &r : records) {
         ++st.recordsScanned;
         if (r.kind == WalRecord::Kind::Commit && r.lsn <= durable_lsn)
             winners.insert(r.txn);
         else if (r.kind == WalRecord::Kind::Abort)
             aborted.insert(r.txn);
+        else if (in_doubt && r.kind == WalRecord::Kind::Prepare &&
+                 r.lsn <= durable_lsn)
+            prepared.emplace(r.txn, r.gtid);
     }
     st.winnersCommitted = winners.size();
+
+    std::unordered_set<TxnId> held;
+    if (in_doubt) {
+        for (const auto &[txn, gtid] : prepared) {
+            if (winners.count(txn) || aborted.count(txn))
+                continue;
+            held.insert(txn);
+            in_doubt->push_back(InDoubtTxn{txn, gtid, {}});
+        }
+        for (InDoubtTxn &d : *in_doubt)
+            for (const WalRecord &r : records)
+                if (isDataRecord(r) && r.txn == d.txn)
+                    d.records.push_back(r);
+        st.inDoubtHeld = held.size();
+    }
 
     // Redo: winner records above the checkpoint horizon. The page
     // images already hold these writes (the simulator applies them at
@@ -71,12 +94,13 @@ replayWal(Database &db, WalJournal &journal, uint64_t durable_lsn)
             ++st.redoApplied;
     }
 
-    // Undo: reverse pass rolling back losers' data records.
+    // Undo: reverse pass rolling back losers' data records. In-doubt
+    // branches are not losers: their fate is the coordinator's call.
     std::unordered_set<TxnId> losers;
     for (auto it = records.rbegin(); it != records.rend(); ++it) {
         const WalRecord &r = *it;
         if (!isDataRecord(r) || winners.count(r.txn) ||
-            aborted.count(r.txn))
+            aborted.count(r.txn) || held.count(r.txn))
             continue;
         applyUndo(db, r);
         ++st.undoApplied;
@@ -126,13 +150,22 @@ reconcileCommittedHistory(WalHistory &history, const WalJournal &journal,
         history.append(std::move(marker));
         acked.insert(r.txn);
     }
+    // In-doubt 2PC branches (durable Prepare, no durable decision)
+    // are neither winners nor losers yet: their marker is appended at
+    // resolution time, so they must not be marked aborted here.
+    std::unordered_set<TxnId> in_doubt;
+    for (const WalRecord &r : journal.records()) {
+        if (r.kind == WalRecord::Kind::Prepare && r.lsn <= durable_lsn)
+            in_doubt.insert(r.txn);
+    }
     // Every other transaction with journal data records is a loser
     // that replayWal is about to undo: mark it aborted in the history
     // so the oracle drops its records (run-time aborts logged their
     // own marker already).
     for (const WalRecord &r : journal.records()) {
         if (!isDataRecord(r) || winners.count(r.txn) ||
-            acked.count(r.txn) || aborted.count(r.txn))
+            acked.count(r.txn) || aborted.count(r.txn) ||
+            in_doubt.count(r.txn))
             continue;
         WalRecord marker;
         marker.kind = WalRecord::Kind::Abort;

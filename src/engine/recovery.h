@@ -23,6 +23,7 @@
 #define DBSENS_ENGINE_RECOVERY_H
 
 #include <cstdint>
+#include <vector>
 
 #include "engine/database.h"
 #include "core/sim_time.h"
@@ -39,8 +40,26 @@ struct RecoveryStats
     uint64_t winnersCommitted = 0;
     uint64_t losersRolledBack = 0;
     uint64_t logBytesRead = 0;
+    /** Prepared 2PC branches held in-doubt (neither redone nor
+     * undone; the cluster layer resolves them post-restart). */
+    uint64_t inDoubtHeld = 0;
     /** Simulated time the recovery pass takes. */
     SimDuration simNs = 0;
+};
+
+/**
+ * A 2PC branch whose Prepare record was durable at the crash but whose
+ * decision was not: recovery must keep its writes in place and its
+ * undo material at hand until the coordinator's verdict arrives
+ * (presumed abort: an unknown coordinator means abort).
+ */
+struct InDoubtTxn
+{
+    TxnId txn = 0;
+    uint64_t gtid = 0;
+    /** The branch's data records in log order (undo material and the
+     * lock set to re-acquire before the node admits new work). */
+    std::vector<WalRecord> records;
 };
 
 /**
@@ -54,9 +73,17 @@ void applyUndo(Database &db, const WalRecord &rec);
  * Replay the journal against `db` after a crash whose durable log
  * horizon was `durable_lsn`. Clears the journal on success (log
  * truncation at the end of restart recovery).
+ *
+ * When `in_doubt` is non-null, transactions with a durable Prepare
+ * record and no durable Commit/Abort are held in-doubt: their writes
+ * stay applied, no undo runs, and their records are returned so the
+ * caller can re-acquire their locks and re-harden them into the fresh
+ * log. Null keeps the single-box behaviour (no Prepare records exist
+ * there, so the paths coincide).
  */
 RecoveryStats replayWal(Database &db, WalJournal &journal,
-                        uint64_t durable_lsn);
+                        uint64_t durable_lsn,
+                        std::vector<InDoubtTxn> *in_doubt = nullptr);
 
 /**
  * Reconcile the full-history record with the journal after a crash:

@@ -77,11 +77,24 @@ blameClassOf(WaitClass c)
 } // namespace
 
 SimRun::SimRun(Database &db, const RunConfig &cfg)
-    : cpu(loop, &dram), ssd(loop), feed(llc),
-      pool(loop, ssd, calib::bufferPoolRealBytes()), locks(loop),
-      wal(loop, ssd), sampler(loop, cfg.sampleInterval), db_(db),
-      cfg_(cfg), txnSeq_(cfg.txnIdBase)
+    : SimRun(db, cfg, nullptr)
 {
+}
+
+SimRun::SimRun(Database &db, const RunConfig &cfg, EventLoop &ext)
+    : SimRun(db, cfg, &ext)
+{
+}
+
+SimRun::SimRun(Database &db, const RunConfig &cfg, EventLoop *ext)
+    : ownedLoop_(ext ? nullptr : std::make_unique<EventLoop>()),
+      loop(ext ? *ext : *ownedLoop_), cpu(loop, &dram), ssd(loop),
+      feed(llc), pool(loop, ssd, calib::bufferPoolRealBytes()),
+      locks(loop), wal(loop, ssd), sampler(loop, cfg.sampleInterval),
+      db_(db), cfg_(cfg), start_(loop.now()), txnSeq_(cfg.txnIdBase)
+{
+    if (cfg.walLsnBase > 0)
+        wal.setLsnBase(cfg.walLsnBase);
     cpu.setAllowedCores(cfg.cores);
     llc.setTotalAllocationMb(cfg.llcMb);
     locks.setTimeout(cfg.lockTimeout);
@@ -360,7 +373,7 @@ SimRun::completeWarmup()
 {
     if (cfg_.warmup <= 0)
         return;
-    loop.runUntil(cfg_.warmup);
+    loop.runUntil(start_ + cfg_.warmup);
     txnsCommitted = 0;
     txnsAborted = 0;
     queriesCompleted = 0;
@@ -374,7 +387,7 @@ SimRun::completeWarmup()
 void
 SimRun::runToCompletion()
 {
-    const SimTime end = cfg_.warmup + cfg_.duration;
+    const SimTime end = start_ + cfg_.warmup + cfg_.duration;
     loop.runUntil(end);
     sampler.stop();
     // Freeze before the drain: post-window work (and, after a crash,

@@ -124,13 +124,30 @@ struct RunConfig
      * transactions by id, and an alias would merge two transactions.
      */
     TxnId txnIdBase = 0;
+    /**
+     * First WAL LSN minus one. Cluster nodes advance this across crash
+     * incarnations so one node's journal stays a single monotonic LSN
+     * space — checkpoint truncation and recovery compare LSNs across
+     * incarnations. 0 keeps the single-box behaviour.
+     */
+    uint64_t walLsnBase = 0;
 };
 
 /** One experiment's simulated server and measurement state. */
 class SimRun
 {
+    // Owns the loop unless a shared external one is supplied; declared
+    // before `loop` so the reference below binds to a live object.
+    std::unique_ptr<EventLoop> ownedLoop_;
+
   public:
     SimRun(Database &db, const RunConfig &cfg);
+    /**
+     * Cluster-node variant: run on a shared external loop, measuring
+     * the run window from the loop's current time (the node's start
+     * epoch), so N nodes and their restarts coexist on one clock.
+     */
+    SimRun(Database &db, const RunConfig &cfg, EventLoop &ext);
     ~SimRun();
 
     SimRun(const SimRun &) = delete;
@@ -139,7 +156,7 @@ class SimRun
     Database &db() { return db_; }
     const RunConfig &config() const { return cfg_; }
 
-    EventLoop loop;
+    EventLoop &loop;
     DramModel dram;
     CoreScheduler cpu;
     SsdModel ssd;
@@ -234,8 +251,12 @@ class SimRun
     bool
     running() const
     {
-        return !crashed_ && loop.now() < cfg_.warmup + cfg_.duration;
+        return !crashed_ &&
+               loop.now() < start_ + cfg_.warmup + cfg_.duration;
     }
+
+    /** Loop time at construction (0 unless on a shared loop). */
+    SimTime startTime() const { return start_; }
 
     // ----- crash state (set by the injector's crash hook)
 
@@ -288,8 +309,11 @@ class SimRun
         EventLoop &loop;
     };
 
+    SimRun(Database &db, const RunConfig &cfg, EventLoop *ext);
+
     Database &db_;
     RunConfig cfg_;
+    SimTime start_ = 0;
     TxnId txnSeq_ = 0;
     std::unique_ptr<LoopTimeline> timeline_;
     std::unordered_set<TxnId> activeTxns_;

@@ -305,6 +305,28 @@ TxnCtx::commit()
     co_return true;
 }
 
+Task<bool>
+TxnCtx::prepare(uint64_t gtid)
+{
+    if (finished_)
+        panic("prepare on finished transaction");
+    charge(oltpcost::kTxnOverheadInstr * 0.25);
+    co_await flushCpu();
+    if (run_.wal.capturing()) {
+        logLsn_ = run_.wal.append(oltpcost::kLogBytesPrepare);
+        WalRecord rec;
+        rec.kind = WalRecord::Kind::Prepare;
+        rec.txn = id_;
+        rec.gtid = gtid;
+        run_.wal.log(std::move(rec));
+    }
+    // The vote is only safe to send once the Prepare record is
+    // durable: an unlogged "yes" could be forgotten by a crash.
+    if (logLsn_ > 0)
+        co_await run_.wal.commit(logLsn_, &run_.waits);
+    co_return true;
+}
+
 Task<void>
 TxnCtx::rollback()
 {

@@ -37,6 +37,7 @@ inline constexpr double kRowDeleteInstr = 120000;
 inline constexpr double kRangeRowInstr = 6000;
 inline constexpr uint64_t kLogBytesRowUpdate = 220;
 inline constexpr uint64_t kLogBytesRowInsert = 320;
+inline constexpr uint64_t kLogBytesPrepare = 96;
 
 } // namespace oltpcost
 
@@ -96,6 +97,15 @@ class TxnCtx
 
     /** Abort: release locks, count the abort. */
     Task<void> rollback();
+
+    /**
+     * 2PC phase one (participant side): harden a Prepare record
+     * carrying the global transaction id, keeping every lock. After
+     * this returns the branch is in-doubt until commit() or
+     * rollback() applies the coordinator's decision — crash recovery
+     * holds it rather than undoing it (see engine/recovery.h).
+     */
+    Task<bool> prepare(uint64_t gtid);
 
   private:
     /** Cache touches for one row access (row + index levels). */

@@ -31,7 +31,15 @@ EventLoop::at(SimTime t, std::function<void()> fn)
 {
     if (t < now_)
         panic("EventLoop::at scheduling into the past");
-    queue_.push(Event{t, seq_++, std::move(fn)});
+    queue_.push(Event{t, seq_++, currentDomain_, std::move(fn)});
+}
+
+void
+EventLoop::killDomain(DomainId d)
+{
+    if (d == 0)
+        panic("EventLoop::killDomain on the root domain");
+    deadDomains_.insert(d);
 }
 
 void
@@ -82,9 +90,17 @@ EventLoop::dispatchOne()
 {
     Event ev = std::move(const_cast<Event &>(queue_.top()));
     queue_.pop();
+    if (!domainAlive(ev.domain)) {
+        // The event belongs to a killed incarnation: drop it without
+        // resuming (the frame it holds leaks, as in ~EventLoop).
+        return;
+    }
     now_ = ev.time;
     ++dispatched_;
+    const DomainId prev = currentDomain_;
+    currentDomain_ = ev.domain;
     ev.fn();
+    currentDomain_ = prev;
 }
 
 void

@@ -15,12 +15,23 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "core/sim_time.h"
 #include "sim/task.h"
 
 namespace dbsens {
+
+/**
+ * Identifies an independently killable group of events. Domain 0 is
+ * the root domain and can never be killed; every other domain models
+ * one incarnation of a crashable entity (e.g. a cluster node): all
+ * work it schedules inherits its domain, and killDomain() makes the
+ * loop drop that work at dispatch without resuming any of its
+ * coroutine frames.
+ */
+using DomainId = uint32_t;
 
 /**
  * The simulation kernel. Owns the event queue, the simulated clock,
@@ -80,6 +91,30 @@ class EventLoop
     /** Total events dispatched (for determinism tests). */
     uint64_t eventsDispatched() const { return dispatched_; }
 
+    /** Allocate a fresh (alive) domain id. */
+    DomainId newDomain() { return nextDomain_++; }
+
+    /**
+     * Domain new events are tagged with. Set while dispatching an
+     * event (events inherit the dispatching event's domain) or via
+     * DomainScope.
+     */
+    DomainId currentDomain() const { return currentDomain_; }
+
+    /**
+     * Kill a domain: queued and future events tagged with it are
+     * dropped at dispatch, so no coroutine belonging to it ever
+     * resumes again (frames leak, same as EventLoop teardown).
+     * Domain 0 is the root domain and cannot be killed.
+     */
+    void killDomain(DomainId d);
+
+    /** True unless `d` has been killed. */
+    bool domainAlive(DomainId d) const
+    {
+        return deadDomains_.empty() || !deadDomains_.count(d);
+    }
+
     // Internal: called from TaskPromiseBase when a detached root task
     // reaches final suspension.
     void rootTaskDone(std::coroutine_handle<> h);
@@ -89,6 +124,7 @@ class EventLoop
     {
         SimTime time;
         uint64_t seq;
+        DomainId domain;
         std::function<void()> fn;
 
         bool
@@ -103,11 +139,39 @@ class EventLoop
 
     std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
     std::vector<std::coroutine_handle<>> finished_;
+    std::unordered_set<DomainId> deadDomains_;
     SimTime now_ = 0;
     uint64_t seq_ = 0;
     uint64_t dispatched_ = 0;
     int activeTasks_ = 0;
+    DomainId currentDomain_ = 0;
+    DomainId nextDomain_ = 1;
     bool stopped_ = false;
+
+    friend class DomainScope;
+};
+
+/**
+ * RAII override of the loop's current domain: everything scheduled
+ * inside the scope (including coroutines spawned from it) belongs to
+ * the given domain and dies with it.
+ */
+class DomainScope
+{
+  public:
+    DomainScope(EventLoop &loop, DomainId d)
+        : loop_(loop), prev_(loop.currentDomain_)
+    {
+        loop_.currentDomain_ = d;
+    }
+    ~DomainScope() { loop_.currentDomain_ = prev_; }
+
+    DomainScope(const DomainScope &) = delete;
+    DomainScope &operator=(const DomainScope &) = delete;
+
+  private:
+    EventLoop &loop_;
+    DomainId prev_;
 };
 
 /** Awaitable: suspend the current coroutine for a simulated duration. */

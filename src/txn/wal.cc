@@ -87,6 +87,15 @@ WalWriter::log(WalRecord r)
 }
 
 void
+WalWriter::logJournalOnly(WalRecord r)
+{
+    if (!journal_)
+        return;
+    r.lsn = appendedLsn_;
+    journal_->append(std::move(r));
+}
+
+void
 WalWriter::noteDurableCommit(TxnId txn)
 {
     if (!history_)

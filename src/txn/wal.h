@@ -47,6 +47,9 @@ struct WalRecord
         Commit,     ///< transaction commit marker
         Abort,      ///< transaction abort marker (undo already applied)
         Checkpoint, ///< fuzzy checkpoint marker
+        Prepare,    ///< 2PC participant prepared; in-doubt until decided
+        Decision,   ///< 2PC coordinator decision (presumed abort: only
+                    ///< commit decisions are ever logged)
     };
 
     Kind kind = Kind::Commit;
@@ -58,7 +61,10 @@ struct WalRecord
     std::string column;          ///< Update only
     Value before;                ///< Update before-image
     Value after;                 ///< Update after-image
-    std::vector<Value> rowImage; ///< Insert after / Delete before
+    std::vector<Value> rowImage; ///< Insert after / Delete before;
+                                 ///< Decision: participant node ids
+    /** Global transaction id (Prepare/Decision records only). */
+    uint64_t gtid = 0;
 };
 
 /**
@@ -172,6 +178,22 @@ class WalWriter
      * physical bytes separately, as before.
      */
     void log(WalRecord r);
+
+    /**
+     * Capture a logical record into the journal only, bypassing the
+     * history. Used when a recovered node re-hardens in-doubt records
+     * and decision-log entries into its fresh log: the history already
+     * holds them from the original execution, and a second copy would
+     * double-apply in the oracle replay.
+     */
+    void logJournalOnly(WalRecord r);
+
+    /**
+     * Continue a predecessor incarnation's LSN space: a cluster node's
+     * journal spans crash restarts, so LSN comparisons (checkpoint
+     * truncation, recovery horizons) must stay monotonic across them.
+     */
+    void setLsnBase(uint64_t lsn) { appendedLsn_ = flushedLsn_ = lsn; }
 
     /**
      * Append a commit marker to the attached history (no-op without

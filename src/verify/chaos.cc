@@ -76,7 +76,8 @@ mixStr(uint64_t &h, const std::string &s)
 
 /** Deterministic fingerprint of the final state + progress counters. */
 std::string
-stateDigest(Database &db, const OltpRunResult &r)
+stateDigest(Database &db, const OltpRunResult &r,
+            const std::vector<uint64_t> &node_digests)
 {
     uint64_t h = kFnvOffset;
     for (const auto &[name, d] : databaseDigest(db)) {
@@ -95,6 +96,11 @@ stateDigest(Database &db, const OltpRunResult &r)
         mix64(h, r.tune.trajectoryDigest);
     if (r.resil.enabled)
         mix64(h, r.resil.incidentDigest);
+    // Cluster episodes fold every node's fleet digest in node order;
+    // non-cluster episodes pass an empty vector and keep their
+    // digests.
+    for (uint64_t d : node_digests)
+        mix64(h, d);
     uint64_t bits;
     std::memcpy(&bits, &r.tps, sizeof bits);
     mix64(h, bits);
@@ -123,6 +129,8 @@ ChaosEpisode::toJson() const
     j["grant_timeout_ns"] = Json(int64_t(grantTimeout));
     j["tune"] = Json(tune);
     j["resil"] = Json(resil);
+    j["cluster"] = Json(cluster);
+    j["cluster_crashes"] = Json(clusterCrashes);
     Json sc = Json::array();
     for (const FaultEvent &ev : script) {
         Json e = Json::object();
@@ -170,9 +178,15 @@ ChaosEpisode::fromJson(const Json &j, ChaosEpisode *out,
     // means disabled, so old repros replay bit-identically.
     ep.tune = j.contains("tune") && j.at("tune").asBool();
     ep.resil = j.contains("resil") && j.at("resil").asBool();
+    ep.cluster = j.contains("cluster") && j.at("cluster").asBool();
+    ep.clusterCrashes = j.contains("cluster_crashes")
+                            ? int(j.at("cluster_crashes").asInt())
+                            : 0;
     if (ep.scaleFactor <= 0 || ep.duration <= 0 || ep.warmup <= 0 ||
         ep.lockTimeout <= 0 || ep.deadlockCheckInterval <= 0)
         return fail("episode has a non-positive knob");
+    if (ep.clusterCrashes < 0)
+        return fail("episode has a negative cluster crash count");
     ep.script.clear();
     const Json &sc = j.at("script");
     if (!sc.isArray())
@@ -222,6 +236,13 @@ randomEpisode(uint64_t seed, bool small)
     // before the script so the draws stay position-stable.
     ep.tune = rng.chance(0.35);
     ep.resil = rng.chance(0.35);
+    // Cluster draws come from their own stream so every draw above —
+    // and the script draws below — stays position-stable: the same
+    // seed still yields the same single-node episode it did before
+    // cluster mode existed.
+    Rng crng(SplitMix64(seed ^ 0xC1B57E4ULL).next());
+    ep.cluster = crng.chance(small ? 0.25 : 0.35);
+    ep.clusterCrashes = ep.cluster ? int(crng.uniform(3)) : 0;
 
     // Randomized fault script inside the run window. At most two
     // crashes (each costs a full recovery pass), brownouts come in
@@ -332,8 +353,15 @@ runEpisode(const ChaosEpisode &ep)
     std::unique_ptr<Database> oracle = wl->generate(ep.seed);
     replayOracle(*db, *oracle, history, rep);
 
+    // Cluster-mode episodes append a sharded-fleet phase: cross-shard
+    // 2PC under crashes and a lossy network, audited for atomicity and
+    // conservation, with each node's digest folded into the episode
+    // digest so replays cover the fleet state too.
+    if (ep.cluster)
+        out.nodeDigests = runClusterPhase(ep, rep);
+
     out.report = std::move(rep);
-    out.stateDigest = stateDigest(*db, out.result);
+    out.stateDigest = stateDigest(*db, out.result, out.nodeDigests);
     return out;
 }
 

@@ -52,6 +52,16 @@ struct ChaosEpisode
     /** Run the resilience controller (incident detection + ladder +
      * admission) during the episode. Optional in JSON like `tune`. */
     bool resil = false;
+    /** Cluster mode: after the single-node run, a small sharded fleet
+     * (cluster/fleet.h) executes cross-shard 2PC transfers under the
+     * episode's seeds, its consistency audits join the report, and its
+     * per-node state digests fold into the episode digest. Optional in
+     * JSON like `tune` — absent means false, so pre-existing repro
+     * files replay unchanged. */
+    bool cluster = false;
+    /** Expected crash/restart cycles per fleet node (cluster mode
+     * only). Optional in JSON — absent means zero. */
+    int clusterCrashes = 0;
     std::vector<FaultEvent> script;
 
     Json toJson() const;
@@ -67,9 +77,25 @@ struct EpisodeOutcome
     /** Deterministic digest of the final state + progress counters;
      * equal digests mean the episode replayed bit-identically. */
     std::string stateDigest;
+    /** Per-node fleet digests (cluster episodes only; empty
+     * otherwise). Folded into stateDigest in node order. */
+    std::vector<uint64_t> nodeDigests;
 
     bool ok() const { return report.ok(); }
 };
+
+/**
+ * Cluster phase of a cluster-mode episode: boots a small sharded
+ * fleet seeded from the episode, runs cross-shard 2PC arrivals under
+ * `clusterCrashes` crash/restart cycles per node plus a lossy
+ * network, appends any atomicity / conservation / oracle violations
+ * (and unresolved in-doubt branches) to `rep`, and returns the
+ * per-node state digests. Implemented in the cluster library
+ * (src/cluster/chaos_fleet.cc) so the 2PC machinery stays out of the
+ * single-box verify core.
+ */
+std::vector<uint64_t> runClusterPhase(const ChaosEpisode &ep,
+                                      AuditReport &rep);
 
 /** Draw a randomized episode from a seeded stream. */
 ChaosEpisode randomEpisode(uint64_t seed, bool small);

@@ -265,6 +265,10 @@ replayOracle(Database &actual, Database &oracle,
             pending.erase(r.txn);
             break;
           case WalRecord::Kind::Checkpoint:
+          case WalRecord::Kind::Prepare:
+          case WalRecord::Kind::Decision:
+            // 2PC protocol markers carry no data images; the branch's
+            // fate arrives as an ordinary Commit/Abort marker.
             break;
           default:
             pending[r.txn].push_back(&r);
@@ -279,7 +283,9 @@ replayOracle(Database &actual, Database &oracle,
         for (const WalRecord &r : history.records()) {
             if (r.kind == WalRecord::Kind::Commit ||
                 r.kind == WalRecord::Kind::Abort ||
-                r.kind == WalRecord::Kind::Checkpoint)
+                r.kind == WalRecord::Kind::Checkpoint ||
+                r.kind == WalRecord::Kind::Prepare ||
+                r.kind == WalRecord::Kind::Decision)
                 continue;
             if (!pending.count(r.txn))
                 continue;

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <set>
 
 #include "core/fault.h"
 #include "engine/grant_gate.h"
@@ -428,6 +429,39 @@ TEST(FaultInjection, OfflineCoresShrinksAllowedPrefix)
     EXPECT_EQ(cpu.allowedCores(), 2);
     cpu.offlineCores(10); // clamps: at least one core survives
     EXPECT_EQ(cpu.allowedCores(), 1);
+}
+
+// Per-node fault seed streams (cluster fleets): a node's derived seed
+// is a pure function of (base seed, node id), so growing the fleet
+// never perturbs an existing node's fault draws, and sibling streams
+// are decorrelated rather than offset copies of each other.
+TEST(FaultInjection, PerNodeSeedStreamsAreIndependent)
+{
+    const uint64_t base = 0xFEEDFACEULL;
+
+    // Purity: the same (base, node) always yields the same seed —
+    // there is no hidden fleet-size input to perturb it.
+    for (int node = 0; node < 8; ++node)
+        EXPECT_EQ(deriveNodeFaultSeed(base, node),
+                  deriveNodeFaultSeed(base, node));
+
+    // Distinctness across nodes and across base seeds.
+    std::set<uint64_t> seen;
+    for (int node = 0; node < 64; ++node)
+        EXPECT_TRUE(
+            seen.insert(deriveNodeFaultSeed(base, node)).second);
+    EXPECT_TRUE(
+        seen.insert(deriveNodeFaultSeed(base + 1, 0)).second);
+
+    // Decorrelation: sibling streams must not share a prefix. Compare
+    // the first draws of adjacent nodes' Rng streams.
+    Rng a(deriveNodeFaultSeed(base, 0));
+    Rng b(deriveNodeFaultSeed(base, 1));
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a() == b())
+            ++equal;
+    EXPECT_EQ(equal, 0);
 }
 
 } // namespace

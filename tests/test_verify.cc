@@ -291,6 +291,55 @@ TEST(Chaos, EpisodeJsonRoundTripsExactly)
         verify::ChaosEpisode::fromJson(Json::parse("{}"), &back, &err));
 }
 
+TEST(Chaos, ClusterKeysAreOptionalAndDeterministic)
+{
+    // Legacy repro files predate the cluster keys: absent means off,
+    // so they still describe pure single-node episodes.
+    verify::ChaosEpisode back;
+    std::string err;
+    const Json legacy = Json::parse(
+        "{\"workload\":\"TPC-E\",\"scale_factor\":100,\"seed\":5,"
+        "\"fault_seed\":9,\"duration_ns\":10000000,"
+        "\"warmup_ns\":4000000,\"lock_timeout_ns\":2000000,"
+        "\"detector\":true,\"deadlock_check_ns\":500000,"
+        "\"grant_timeout_ns\":0,\"script\":[]}");
+    ASSERT_TRUE(verify::ChaosEpisode::fromJson(legacy, &back, &err))
+        << err;
+    EXPECT_FALSE(back.cluster);
+    EXPECT_EQ(back.clusterCrashes, 0);
+
+    // A cluster episode runs the fleet phase, audits clean, surfaces
+    // per-node digests, and replays bit-identically.
+    verify::ChaosEpisode ep = verify::randomEpisode(7, true);
+    ep.cluster = true;
+    ep.clusterCrashes = 1;
+    ep.duration = milliseconds(10);
+    ep.warmup = milliseconds(4);
+    ep.script.clear();
+
+    const verify::EpisodeOutcome a = verify::runEpisode(ep);
+    EXPECT_TRUE(a.ok()) << a.report.summary();
+    ASSERT_FALSE(a.nodeDigests.empty());
+    const verify::EpisodeOutcome b = verify::runEpisode(ep);
+    EXPECT_EQ(a.stateDigest, b.stateDigest);
+    EXPECT_EQ(a.nodeDigests, b.nodeDigests);
+
+    // The cluster keys round-trip through JSON...
+    ASSERT_TRUE(
+        verify::ChaosEpisode::fromJson(ep.toJson(), &back, &err))
+        << err;
+    EXPECT_TRUE(back.cluster);
+    EXPECT_EQ(back.clusterCrashes, 1);
+
+    // ...and the fleet state is load-bearing in the digest: the same
+    // episode without the fleet lands elsewhere.
+    ep.cluster = false;
+    ep.clusterCrashes = 0;
+    const verify::EpisodeOutcome solo = verify::runEpisode(ep);
+    EXPECT_TRUE(solo.nodeDigests.empty());
+    EXPECT_NE(solo.stateDigest, a.stateDigest);
+}
+
 TEST(Chaos, CleanEpisodeAuditsClean)
 {
     // Seed 1 draws a crash plus degradations — a run that exercises

@@ -138,12 +138,16 @@ main(int argc, char **argv)
 
         const verify::EpisodeOutcome outc = verify::runEpisode(ep);
         totals.merge(outc.report);
-        std::printf("episode %3llu seed %llu %-5s sf %d %s script %zu "
+        char fleetTag[24] = "";
+        if (ep.cluster)
+            std::snprintf(fleetTag, sizeof fleetTag, " fleet(x%d)",
+                          ep.clusterCrashes);
+        std::printf("episode %3llu seed %llu %-5s sf %d %s%s script %zu "
                     "crashes %llu deadlocks %llu timeouts %llu digest "
                     "%s: %s\n",
                     (unsigned long long)i, (unsigned long long)ep_seed,
                     ep.workload.c_str(), ep.scaleFactor,
-                    ep.detector ? "detector" : "timeout ",
+                    ep.detector ? "detector" : "timeout ", fleetTag,
                     ep.script.size(),
                     (unsigned long long)outc.result.crashes,
                     (unsigned long long)outc.result.deadlockAborts,

@@ -12,8 +12,11 @@
  * (report_tool merge); every `obs` object found under results/ is
  * rendered, along with every enabled `resil` object (incident
  * timeline and degradation-ladder transitions from the resilience
- * controller). `--json` re-emits just those objects (keyed by their
- * result path) for scripting. Built only on the in-tree Json class.
+ * controller) and every fleet result (bench_fig13_fleet: per-cell
+ * cross-shard transaction outcomes, per-node 2PC counters, and the
+ * crash/restart timeline). `--json` re-emits just those objects
+ * (keyed by their result path) for scripting. Built only on the
+ * in-tree Json class.
  */
 
 #include <cstdio>
@@ -246,14 +249,102 @@ renderResil(const std::string &label, const Json &r)
     }
 }
 
-/** Depth-first hunt for "obs" and enabled "resil" objects; the
- * path labels each hit, the key tells the renderer apart. */
+/** Fleet view (bench_fig13_fleet results): verdict, per-cell tenant
+ * outcomes, per-node counters, and the crash/restart timeline. */
+void
+renderFleet(const std::string &label, const Json &r)
+{
+    std::printf("\n=== %s ===\n", label.c_str());
+    if (r.contains("verdict")) {
+        const Json &v = r.at("verdict");
+        auto flag = [&](const char *k) {
+            return v.contains(k) && v.at(k).asBool() ? "yes" : "NO";
+        };
+        std::printf("fleet verdict: %s (consistent %s, in-doubt "
+                    "resolved %s, chaos engaged %s)\n",
+                    v.contains("pass") && v.at("pass").asBool()
+                        ? "PASS"
+                        : "FAIL",
+                    flag("all_consistent"), flag("all_resolved"),
+                    flag("engaged"));
+    }
+    for (const Json &c : r.at("cells").items()) {
+        std::printf("\ncell: %d node(s), crash intensity %g — "
+                    "%llu submitted, %llu committed, in-doubt "
+                    "%llu resolved / %llu unresolved, %llu "
+                    "violation(s), net %llu sent / %llu dropped / "
+                    "%llu duplicated\n",
+                    int(num(c, "nodes")), num(c, "crashes_per_node"),
+                    (unsigned long long)num(c, "submitted"),
+                    (unsigned long long)num(c, "committed"),
+                    (unsigned long long)num(c, "in_doubt_resolved"),
+                    (unsigned long long)num(c, "in_doubt_unresolved"),
+                    (unsigned long long)num(c, "violations"),
+                    (unsigned long long)num(c, "net_sent"),
+                    (unsigned long long)num(c, "net_dropped"),
+                    (unsigned long long)num(c, "net_duplicated"));
+        if (c.contains("tenants")) {
+            int t = 0;
+            for (const Json &ts : c.at("tenants").items())
+                std::printf("  tenant %d: %4llu submitted (%llu "
+                            "cross-shard) -> %llu committed / %llu "
+                            "aborted / %llu rejected / %llu unknown, "
+                            "p50 %.2f ms p99 %.2f ms\n",
+                            t++,
+                            (unsigned long long)num(ts, "submitted"),
+                            (unsigned long long)num(ts, "cross_shard"),
+                            (unsigned long long)num(ts, "committed"),
+                            (unsigned long long)num(ts, "aborted"),
+                            (unsigned long long)num(ts, "rejected"),
+                            (unsigned long long)num(ts, "unknown"),
+                            num(ts, "p50_ms"), num(ts, "p99_ms"));
+        }
+        if (c.contains("per_node")) {
+            for (const Json &n : c.at("per_node").items())
+                std::printf("  node %d: %llu crash(es), %llu "
+                            "branch(es), %llu prepare(s), %llu "
+                            "decision(s), in-doubt %llu recovered "
+                            "(%llu commit / %llu abort), recovery "
+                            "%.2f ms\n",
+                            int(num(n, "node")),
+                            (unsigned long long)num(n, "crashes"),
+                            (unsigned long long)
+                                num(n, "branches_executed"),
+                            (unsigned long long)num(n, "prepares"),
+                            (unsigned long long)
+                                num(n, "decisions_logged"),
+                            (unsigned long long)
+                                num(n, "in_doubt_recovered"),
+                            (unsigned long long)
+                                num(n, "in_doubt_committed"),
+                            (unsigned long long)
+                                num(n, "in_doubt_aborted"),
+                            num(n, "recovery_ms"));
+        }
+        if (c.contains("events") && c.at("events").size() > 0) {
+            std::printf("  timeline:\n");
+            for (const Json &e : c.at("events").items())
+                std::printf("    %8.2f ms  node %d  %s\n",
+                            num(e, "at_ms"), int(num(e, "node")),
+                            str(e, "kind").c_str());
+        }
+    }
+}
+
+/** Depth-first hunt for "obs", enabled "resil", and fleet
+ * (cells + verdict) objects; the path labels each hit, the shape
+ * tells the renderer apart. */
 void
 collect(const Json &node, const std::string &path,
         std::vector<std::pair<std::string, const Json *>> *out)
 {
     if (!node.isObject())
         return;
+    if (node.contains("cells") && node.at("cells").isArray() &&
+        node.contains("verdict")) {
+        out->push_back({path.empty() ? "fleet" : path, &node});
+        return;
+    }
     for (const auto &m : node.members()) {
         const std::string sub =
             path.empty() ? m.first : path + "." + m.first;
@@ -305,9 +396,10 @@ main(int argc, char **argv)
     std::vector<std::pair<std::string, const Json *>> hits;
     collect(doc, "", &hits);
     if (hits.empty()) {
-        std::fprintf(stderr, "dbsens_explain: %s holds no obs or "
-                     "resil section (run the bench with --json and "
-                     "RunConfig::obs or RunConfig::resil enabled)\n",
+        std::fprintf(stderr, "dbsens_explain: %s holds no obs, "
+                     "resil, or fleet section (run the bench with "
+                     "--json and RunConfig::obs or RunConfig::resil "
+                     "enabled, or use a bench_fig13_fleet report)\n",
                      path.c_str());
         return 1;
     }
@@ -324,7 +416,9 @@ main(int argc, char **argv)
         const std::string key =
             dot == std::string::npos ? h.first
                                      : h.first.substr(dot + 1);
-        if (key == "resil")
+        if (h.second->contains("cells"))
+            renderFleet(h.first, *h.second);
+        else if (key == "resil")
             renderResil(h.first, *h.second);
         else
             renderObs(h.first, *h.second);
