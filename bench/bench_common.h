@@ -117,6 +117,7 @@ toJson(const RunConfig &cfg)
                  : "timeout");
     j["fault_enabled"] = Json(cfg.fault.enabled);
     j["resil_enabled"] = Json(cfg.resil.enabled);
+    j["sketch_enabled"] = Json(cfg.sketch.enabled);
     j["tune_enabled"] = Json(cfg.tune.enabled);
     j["tune_policy"] = Json(cfg.tune.enabled
                                 ? tunePolicyName(cfg.tune.policy)
@@ -221,6 +222,39 @@ toJson(const resil::ResilResult &r)
     return j;
 }
 
+/** Sketch-hub summary (the `sketch.*` family). */
+inline Json
+toJson(const sketch::SketchResult &r)
+{
+    Json j = Json::object();
+    j["enabled"] = Json(r.enabled);
+    j["cms_width"] = Json(uint64_t(r.cmsWidth));
+    j["cms_depth"] = Json(uint64_t(r.cmsDepth));
+    j["cms_eps"] = Json(r.cmsEps);
+    j["kll_k"] = Json(uint64_t(r.kllK));
+    j["resizes"] = Json(r.resizes);
+    j["columns"] = Json(r.columns);
+    j["row_accesses"] = Json(r.rowAccesses);
+    j["page_accesses"] = Json(r.pageAccesses);
+    j["hot_hits"] = Json(r.hotHits);
+    j["bytes"] = Json(r.bytes);
+    j["occupancy"] = Json(r.occupancy);
+    for (int t = 0; t < 2; ++t) {
+        const std::string p = "t" + std::to_string(t) + "_";
+        j[p + "lat_count"] = Json(r.latencyCount[t]);
+        j[p + "lat_p50_ms"] = Json(r.latP50Ms[t]);
+        j[p + "lat_p95_ms"] = Json(r.latP95Ms[t]);
+        j[p + "lat_p99_ms"] = Json(r.latP99Ms[t]);
+    }
+    // Hex string: a 64-bit digest does not survive the double-backed
+    // JSON number representation.
+    char digest[24];
+    std::snprintf(digest, sizeof digest, "%016llx",
+                  (unsigned long long)r.digest);
+    j["digest"] = Json(digest);
+    return j;
+}
+
 /** Fault/recovery counters as report JSON (the `fault.*` family). */
 inline Json
 toJson(const FaultCounters &c)
@@ -305,6 +339,7 @@ toJson(const OltpRunResult &r)
     j["fault"] = toJson(r.fault);
     j["tune"] = toJson(r.tune);
     j["resil"] = toJson(r.resil);
+    j["sketch"] = toJson(r.sketch);
     j["waits"] = toJson(r.waits);
     if (r.attribution.enabled)
         j["obs"] = r.attribution.toJson();

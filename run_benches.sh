@@ -7,6 +7,8 @@
 #                               into BENCH_report.json (+ reports/*.json)
 #   ./run_benches.sh fig13      full-scale fleet chaos sweep
 #                               -> reports/bench_fig13_fleet.json
+#   ./run_benches.sh fig14      full-scale sketch skew x budget sweep
+#                               -> reports/bench_fig14_sketch.json
 set -u
 cd "$(dirname "$0")"
 
@@ -25,6 +27,7 @@ FIG10="bench_fig10_autopilot --small"
 FIG11="bench_fig11_attribution --small"
 FIG12="bench_fig12_resilience --small"
 FIG13="bench_fig13_fleet --small"
+FIG14="bench_fig14_sketch --small"
 
 if [ "${1:-}" = "fig13" ]; then
     # Full-scale fleet sweep (node count x crash intensity); the
@@ -33,6 +36,16 @@ if [ "${1:-}" = "fig13" ]; then
     mkdir -p reports
     build/bench/bench_fig13_fleet --json reports/bench_fig13_fleet.json \
         || echo "BENCH FAILED: bench_fig13_fleet" >&2
+    exit 0
+fi
+
+if [ "${1:-}" = "fig14" ]; then
+    # Full-scale sketch backbone sweep; the verdict gates on the
+    # sketch-vs-oracle plan flips, the analytic error bounds, and the
+    # monotone resize curve, so a non-zero exit here is a bug.
+    mkdir -p reports
+    build/bench/bench_fig14_sketch --json reports/bench_fig14_sketch.json \
+        || echo "BENCH FAILED: bench_fig14_sketch" >&2
     exit 0
 fi
 
@@ -90,6 +103,14 @@ if [ "${1:-}" = "report" ]; then
     else
         echo "BENCH FAILED: bench_fig13_fleet" >&2
     fi
+    echo ""
+    echo "##### bench_fig14_sketch (--small --json) #####"
+    # shellcheck disable=SC2086
+    if build/bench/$FIG14 --json reports/bench_fig14_sketch.json; then
+        collected="$collected reports/bench_fig14_sketch.json"
+    else
+        echo "BENCH FAILED: bench_fig14_sketch" >&2
+    fi
     # shellcheck disable=SC2086
     build/tools/report_tool merge BENCH_report.json $collected
     exit 0
@@ -116,3 +137,7 @@ echo ""
 echo "##### build/bench/$FIG13 #####"
 # shellcheck disable=SC2086
 build/bench/$FIG13 || echo "BENCH FAILED: bench_fig13_fleet"
+echo ""
+echo "##### build/bench/$FIG14 #####"
+# shellcheck disable=SC2086
+build/bench/$FIG14 || echo "BENCH FAILED: bench_fig14_sketch"

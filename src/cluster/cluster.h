@@ -88,6 +88,17 @@ struct ClusterConfig
     SimDuration clientDeadline = milliseconds(30);
     int clientRetries = 3;
 
+    /**
+     * Per-shard sketch telemetry (src/stats_sketch): the fleet keeps
+     * one key-heat partition per shard (fed at the router) plus
+     * per-node latency quantile sketches, merges them at episode end,
+     * and audits merge-equals-concatenation, partition-split
+     * exactness, and the KLL rank bound against the exact latency
+     * samples. Off (default) builds no sketches — byte-identical
+     * episodes.
+     */
+    bool sketch = false;
+
     // ----- experiment window
     /** Arrival window: transactions are submitted in [0, window). */
     SimDuration window = milliseconds(60);

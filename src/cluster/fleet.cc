@@ -56,6 +56,16 @@ Fleet::Fleet(const ClusterConfig &cfg)
       chaosRng_(deriveNodeFaultSeed(cfg.seed, 3000)),
       zipf_(uint64_t(cfg.rowsPerShard), cfg.zipfTheta)
 {
+    if (cfg.sketch) {
+        const uint64_t sseed = cfg.seed ^ 0x5eedf1ee7ULL;
+        keyHeat_ = std::make_unique<sketch::PartitionedCms>(
+            uint32_t(cfg.nodes), 4096, 4, sseed);
+        keyHeatAll_ =
+            std::make_unique<sketch::CountMinSketch>(4096, 4, sseed);
+        for (int n = 0; n < cfg.nodes; ++n)
+            nodeLat_.emplace_back(
+                200, sseed ^ (uint64_t(n) * 0x9e3779b97f4a7c15ULL + 1));
+    }
     for (int n = 0; n < cfg.nodes; ++n)
         nodes_.push_back(
             std::make_unique<ClusterNode>(n, cfg_, loop_, net_));
@@ -138,6 +148,18 @@ Fleet::clientTask(Arrival a)
         ++ten.crossShard;
     const SimTime arrived = loop_.now();
 
+    if (keyHeat_) {
+        // Per-shard key heat at the router: each key's touch lands in
+        // its owning shard's partition, and the reference sketch sees
+        // the same concatenated stream.
+        for (const TxnOp &op : a.ops) {
+            keyHeat_->updatePart(uint32_t(router_.route(op.key)),
+                                 uint64_t(op.key));
+            keyHeatAll_->update(uint64_t(op.key));
+            ++sketchKeys_;
+        }
+    }
+
     for (int attempt = 0; attempt <= cfg_.clientRetries; ++attempt) {
         const int coordNode = router_.route(a.ops[0].key);
         ClusterNode &coord = *nodes_[size_t(coordNode)];
@@ -179,8 +201,11 @@ Fleet::clientTask(Arrival a)
 
         if (*slot == TxnOutcome::Committed) {
             ++ten.committed;
-            ten.latencyMs.add(double(loop_.now() - arrived) /
-                              double(milliseconds(1)));
+            const double lat_ms = double(loop_.now() - arrived) /
+                                  double(milliseconds(1));
+            ten.latencyMs.add(lat_ms);
+            if (!nodeLat_.empty())
+                nodeLat_[size_t(coordNode)].update(lat_ms);
             co_return;
         }
         if (*slot == TxnOutcome::Pending) {
@@ -304,7 +329,87 @@ Fleet::run()
                              n->stats().inDoubtAborted;
     }
     audit(r);
+    sketchAudit(r);
     return r;
+}
+
+void
+Fleet::sketchAudit(FleetResult &r)
+{
+    if (!keyHeat_)
+        return;
+    FleetSketchSummary &s = r.sketch;
+    s.enabled = true;
+    s.keysTracked = sketchKeys_;
+
+    // Mergeable: per-shard partitions combined at the router must be
+    // bit-identical to the reference sketch that saw the whole
+    // concatenated key stream.
+    const sketch::CountMinSketch merged = keyHeat_->merged();
+    s.mergedDigest = merged.digest();
+    ++s.checks;
+    if (merged.digest() != keyHeatAll_->digest())
+        r.audit.add("sketch", "router-merged key heat differs from "
+                              "the whole-stream sketch");
+
+    // Partitionable: split the shards into two migration groups,
+    // extract each, and re-merging the halves must restore the whole
+    // exactly.
+    std::vector<uint32_t> even, odd;
+    for (uint32_t p = 0; p < keyHeat_->parts(); ++p)
+        (p % 2 == 0 ? even : odd).push_back(p);
+    sketch::CountMinSketch rejoined = keyHeat_->extract(even);
+    if (!odd.empty())
+        rejoined.merge(keyHeat_->extract(odd));
+    ++s.checks;
+    if (rejoined.digest() != merged.digest())
+        r.audit.add("sketch", "migration split + rejoin of the key "
+                              "heat lost counts");
+
+    // KLL rank bound: merge the per-node latency sketches and check
+    // the merged quantiles against the exact commit-latency samples.
+    sketch::KllSketch lat = nodeLat_[0];
+    for (size_t n = 1; n < nodeLat_.size(); ++n)
+        lat.merge(nodeLat_[n]);
+    std::vector<double> exact;
+    for (const TenantStats &t : r.tenants)
+        for (double v : t.latencyMs.samples())
+            exact.push_back(v);
+    std::sort(exact.begin(), exact.end());
+    ++s.checks;
+    if (lat.count() != exact.size())
+        r.audit.add("sketch",
+                    "latency sketch count " +
+                        std::to_string(lat.count()) + " != exact " +
+                        std::to_string(exact.size()));
+    s.latRankErrBound = lat.rankErrorBound();
+    if (!exact.empty()) {
+        s.latP50Ms = lat.quantile(0.5);
+        s.latP99Ms = lat.quantile(0.99);
+        for (double q : {0.5, 0.9, 0.99}) {
+            const double v = lat.quantile(q);
+            // Exact rank range of v (ties included) must sit within
+            // the guaranteed bound of the target rank.
+            const uint64_t lo = uint64_t(
+                std::lower_bound(exact.begin(), exact.end(), v) -
+                exact.begin());
+            const uint64_t hi = uint64_t(
+                std::upper_bound(exact.begin(), exact.end(), v) -
+                exact.begin());
+            const double target = q * double(exact.size());
+            const double err =
+                target < double(lo)
+                    ? double(lo) - target
+                    : (target > double(hi) ? target - double(hi) : 0);
+            ++s.checks;
+            if (err > double(lat.rankErrorBound()))
+                r.audit.add(
+                    "sketch",
+                    "latency q" + std::to_string(q) + " off by " +
+                        std::to_string(err) + " ranks, bound " +
+                        std::to_string(lat.rankErrorBound()));
+        }
+    }
 }
 
 void

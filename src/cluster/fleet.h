@@ -19,6 +19,8 @@
 #include "cluster/net.h"
 #include "cluster/node.h"
 #include "core/histogram.h"
+#include "stats_sketch/kll.h"
+#include "stats_sketch/sketch.h"
 #include "verify/verify.h"
 
 namespace dbsens {
@@ -45,6 +47,23 @@ struct FleetEvent
     std::string kind; ///< "crash" | "restart" | "heal-restart"
 };
 
+/** Router-merged sketch telemetry (ClusterConfig::sketch). */
+struct FleetSketchSummary
+{
+    bool enabled = false;
+    /** Key touches folded into the per-shard heat partitions. */
+    uint64_t keysTracked = 0;
+    /** Digest of the router-merged key-heat sketch. */
+    uint64_t mergedDigest = 0;
+    /** Fleet-wide commit-latency quantiles from the merged KLL. */
+    double latP50Ms = 0;
+    double latP99Ms = 0;
+    /** Guaranteed rank error of those quantiles (in ranks). */
+    uint64_t latRankErrBound = 0;
+    /** Sketch audit checks run (all appended to the audit report). */
+    int checks = 0;
+};
+
 /** Everything one fleet episode produced. */
 struct FleetResult
 {
@@ -66,6 +85,8 @@ struct FleetResult
     uint64_t inDoubtResolved = 0;
 
     verify::AuditReport audit;
+
+    FleetSketchSummary sketch;
 
     uint64_t totalCommitted() const;
     uint64_t totalSubmitted() const;
@@ -118,6 +139,7 @@ class Fleet
     double rateAt(int tenant, SimTime t) const;
 
     void audit(FleetResult &r);
+    void sketchAudit(FleetResult &r);
 
     ClusterConfig cfg_;
     EventLoop loop_;
@@ -132,6 +154,16 @@ class Fleet
     std::vector<FleetEvent> events_;
     std::vector<TenantStats> tenants_;
     bool arrivalsOpen_ = true;
+
+    // ----- sketch telemetry (null/empty unless cfg.sketch) -----
+    /** Key heat, one partition per shard (updatePart at the router). */
+    std::unique_ptr<sketch::PartitionedCms> keyHeat_;
+    /** Reference whole-stream sketch, same shape and seed: the audit
+     * checks merged() against it bit-for-bit. */
+    std::unique_ptr<sketch::CountMinSketch> keyHeatAll_;
+    /** Per-node commit-latency quantile sketches (merged at audit). */
+    std::vector<sketch::KllSketch> nodeLat_;
+    uint64_t sketchKeys_ = 0;
 };
 
 } // namespace cluster

@@ -268,6 +268,10 @@ replayQuery(SimRun &run, const QueryProfile &profile, ReplayParams params)
         run.obs->recordLatency(params.tenant,
                                run.loop.now() - query_start);
     }
+    if (run.sketch)
+        run.sketch->noteLatency(params.tenant,
+                                double(run.loop.now() - query_start) *
+                                    1e-6);
     if (tr)
         tr->complete(track, "query",
                      profile.name.empty() ? "query" : profile.name,

@@ -6,8 +6,10 @@
 
 namespace dbsens {
 
-// SimRun's member `obs` shadows the namespace inside member bodies.
+// SimRun's members `obs` and `sketch` shadow the namespaces inside
+// member bodies.
 namespace obsv = ::dbsens::obs;
+namespace skch = ::dbsens::sketch;
 
 namespace {
 
@@ -181,6 +183,27 @@ SimRun::SimRun(Database &db, const RunConfig &cfg, EventLoop *ext)
     stats.gauge("run.olap_useful_ns", [this] { return olapUsefulNs; },
                 "nominal OLAP instruction-ns completed");
 
+    if (cfg.sketch.enabled) {
+        sketch = std::make_unique<skch::SketchHub>(cfg.sketch);
+        sketch->registerStats(stats, "sketch");
+        // The grant pool's starting capacity anchors the resize
+        // ladder; later actuations (autopilot / resilience) report
+        // through the same tap below.
+        sketch->noteGrantCapacity(queryGrantBytes());
+        // Behaviour hooks only when explicitly asked for — at the
+        // neutral defaults the hub purely observes.
+        if (cfg.sketch.hotTimeoutFactor != 1.0)
+            locks.setHotHint(
+                [this](TableId t, RowId r) {
+                    return sketch->isHotRow(uint64_t(t), uint64_t(r));
+                },
+                cfg.sketch.hotTimeoutFactor);
+        if (cfg.sketch.pinBias)
+            pool.setPinBias([this](PageId p) {
+                return sketch->isHotPage(uint64_t(p));
+            });
+    }
+
     if (cfg.obs.enabled) {
         obs = std::make_unique<obsv::RunObserver>(
             cfg.obs, stats, [this] { return loop.now(); });
@@ -265,10 +288,16 @@ SimRun::SimRun(Database &db, const RunConfig &cfg, EventLoop *ext)
         };
         act.setGrantCapacity = [this](uint64_t bytes) {
             grants.setCapacity(bytes);
+            if (sketch)
+                sketch->noteGrantCapacity(bytes);
         };
         act.stats = &stats;
         act.progressStat[kTenantOltp] = "run.txns_committed";
         act.progressStat[kTenantOlap] = "run.olap_useful_ns";
+        // Probe baseline latency guardrail: trials that worsen the
+        // OLTP p99 beyond the policy's tolerance are rolled back.
+        if (sketch)
+            act.latencyStat = "sketch.t0.lat_p99_ms";
         act.running = [this] { return running(); };
         autopilot->registerStats(stats, "tune");
         if (cfg.resil.enabled)
@@ -290,6 +319,8 @@ SimRun::SimRun(Database &db, const RunConfig &cfg, EventLoop *ext)
             };
         hooks.setGrantCapacity = [this](uint64_t bytes) {
             grants.setCapacity(bytes);
+            if (sketch)
+                sketch->noteGrantCapacity(bytes);
         };
         hooks.grantCapacity = [this] {
             return grants.capacityBytes();

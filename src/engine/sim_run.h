@@ -28,6 +28,7 @@
 #include "sim/event_loop.h"
 #include "sim/sampler.h"
 #include "sim/ssd_model.h"
+#include "stats_sketch/hub.h"
 #include "tune/autopilot.h"
 #include "txn/latch_table.h"
 #include "txn/lock_manager.h"
@@ -118,6 +119,15 @@ struct RunConfig
      */
     resil::ResilConfig resil;
     /**
+     * Sketch statistics backbone (disabled ⇒ no SketchHub is built,
+     * no hooks installed, every tap site is gated on the null pointer
+     * — runs stay byte-identical). With the behaviour knobs at their
+     * neutral defaults an *enabled* hub only observes: it draws no
+     * RNG, schedules no events, and simulated results are unchanged.
+     * See src/stats_sketch/.
+     */
+    sketch::SketchConfig sketch;
+    /**
      * First transaction id minus one. The harness advances this across
      * crash phases so a resumed run never reuses an earlier phase's
      * ids — the WAL history and the recovery reconciliation key
@@ -181,6 +191,10 @@ class SimRun
     /** Resilience controller; null unless cfg.resil.enabled. Sessions
      * consult it for admission and MAXDOP clamps. */
     std::unique_ptr<resil::ResilController> resil;
+    /** Sketch-statistics hub; null unless cfg.sketch.enabled. Every
+     * tap site (txn path, query runner, optimizer, grant actuators)
+     * is gated on this pointer. */
+    std::unique_ptr<sketch::SketchHub> sketch;
     /**
      * Unified per-run stats registry: every component above registers
      * gauges here under a dotted prefix (`bufferpool.misses`,

@@ -98,6 +98,8 @@ TxnCtx::seekRow(Database::Table &t, const std::string &index_col,
         run_.feed.touch(a);
 
     // Fix index pages (I/O if cold), then lock the row, then its page.
+    if (run_.sketch)
+        run_.sketch->noteRowAccess(uint64_t(t.id), uint64_t(r));
     co_await flushCpu();
     for (PageId p : path)
         co_await run_.pool.fix(p, &run_.waits);
@@ -113,8 +115,11 @@ TxnCtx::readRow(Database::Table &t, RowId r)
     charge(oltpcost::kRowReadInstr);
     touchRow(t, r);
     if (t.rowStore) {
+        const PageId p = t.rowStore->pageOfRow(r);
+        if (run_.sketch)
+            run_.sketch->notePageAccess(uint64_t(p));
         co_await flushCpu();
-        co_await run_.pool.fix(t.rowStore->pageOfRow(r), &run_.waits);
+        co_await run_.pool.fix(p, &run_.waits);
     }
 }
 
@@ -178,8 +183,12 @@ TxnCtx::updateRow(Database::Table &t, RowId r, const std::string &column,
     // leaves a record the replay oracle cannot classify. The awaits
     // that follow model only the timing of the page fix and latch.
     t.data->column(column).set(r, v);
+    if (run_.sketch)
+        run_.sketch->noteRowAccess(uint64_t(t.id), uint64_t(r));
     if (t.rowStore) {
         const PageId p = t.rowStore->pageOfRow(r);
+        if (run_.sketch)
+            run_.sketch->notePageAccess(uint64_t(p));
         co_await flushCpu();
         co_await run_.pool.fix(p, &run_.waits);
         SimMutex &latch = run_.latches.latchFor(p);
@@ -302,6 +311,10 @@ TxnCtx::commit()
     if (run_.obs)
         run_.obs->recordLatency(kTenantOltp,
                                 run_.loop.now() - begin_);
+    if (run_.sketch)
+        run_.sketch->noteLatency(kTenantOltp,
+                                 double(run_.loop.now() - begin_) *
+                                     1e-6);
     co_return true;
 }
 

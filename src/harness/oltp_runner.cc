@@ -92,6 +92,8 @@ runOltpOn(OltpWorkload &workload, Database &db, RunConfig cfg)
                 res.attribution.merge(run.obs->finish());
             if (run.resil)
                 res.resil.merge(run.resil->result());
+            if (run.sketch)
+                res.sketch = run.sketch->result();
             if (run.sampler.hasSeries("ssd_read_Bps"))
                 appendSeries(res.ssdRead,
                              run.sampler.series("ssd_read_Bps"));

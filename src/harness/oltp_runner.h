@@ -17,6 +17,7 @@
 
 #include "obs/observer.h"
 #include "resil/resil.h"
+#include "stats_sketch/hub.h"
 #include "tune/tune.h"
 #include "workloads/workload.h"
 
@@ -68,6 +69,9 @@ struct OltpRunResult
     /** Resilience summary, merged across crash phases
      * (enabled=false when the run had no controller). */
     resil::ResilResult resil;
+    /** Sketch-hub summary of the last phase (enabled=false when the
+     * run had no hub). */
+    sketch::SketchResult sketch;
 };
 
 /** Default OLTP run length (simulated; steady-state window). */

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "opt/sketch_stats.h"
 
 namespace dbsens {
 
@@ -16,6 +17,36 @@ constexpr double kCostProbeRow = 6.0;
 constexpr double kCostNlProbe = 34.0;
 constexpr double kCostAggRow = 5.0;
 constexpr double kCostSortRowLog = 1.8;
+
+/** Numeric value of a Const literal; false for strings. */
+bool
+literalValue(const Expr &e, double *out)
+{
+    if (e.kind != ExprKind::Const || e.literal.isString())
+        return false;
+    *out = e.literal.isInt() ? double(e.literal.asInt())
+                             : e.literal.asDouble();
+    return true;
+}
+
+double
+clampSel(double s)
+{
+    return s < 0.0 ? 0.0 : (s > 1.0 ? 1.0 : s);
+}
+
+/** Mirror a comparison when the literal is on the left. */
+CmpOp
+mirrorCmp(CmpOp op)
+{
+    switch (op) {
+      case CmpOp::Lt: return CmpOp::Gt;
+      case CmpOp::Le: return CmpOp::Ge;
+      case CmpOp::Gt: return CmpOp::Lt;
+      case CmpOp::Ge: return CmpOp::Le;
+      default: return op;
+    }
+}
 
 } // namespace
 
@@ -54,6 +85,104 @@ Optimizer::selectivity(const Expr &e)
 }
 
 double
+Optimizer::selectivityFor(const Expr &e, const TableHandle *th,
+                          const std::string &prefix)
+{
+    if (!cfg_.sketch || !th)
+        return selectivity(e);
+    switch (e.kind) {
+      case ExprKind::Cmp: {
+        // Literal comparison against a base-table column?
+        const Expr *cr = nullptr;
+        const Expr *ct = nullptr;
+        CmpOp op = e.cmp;
+        if (e.kids[0]->kind == ExprKind::ColRef &&
+            e.kids[1]->kind == ExprKind::Const) {
+            cr = e.kids[0].get();
+            ct = e.kids[1].get();
+        } else if (e.kids[1]->kind == ExprKind::ColRef &&
+                   e.kids[0]->kind == ExprKind::Const) {
+            cr = e.kids[1].get();
+            ct = e.kids[0].get();
+            op = mirrorCmp(op);
+        } else {
+            return selectivity(e);
+        }
+        double v;
+        if (!literalValue(*ct, &v))
+            return selectivity(e);
+        std::string colname = cr->column;
+        if (!prefix.empty() &&
+            colname.compare(0, prefix.size(), prefix) == 0)
+            colname = colname.substr(prefix.size());
+        const auto *cs = ensureColumnStats(*cfg_.sketch, *th, colname,
+                                           cfg_.sketchPool);
+        if (!cs || cs->rows == 0)
+            return selectivity(e);
+        const double n = double(cs->rows);
+        // rank(v) counts items < v; nudging the probe one ulp up
+        // turns it into <= v.
+        const double up = std::nextafter(v, HUGE_VAL);
+        switch (op) {
+          case CmpOp::Eq:
+            if (!cs->hasCms || !ct->literal.isInt())
+                return selectivity(e);
+            return clampSel(
+                double(cs->cms.estimate(uint64_t(ct->literal.asInt()))) /
+                n);
+          case CmpOp::Ne:
+            if (!cs->hasCms || !ct->literal.isInt())
+                return selectivity(e);
+            return clampSel(
+                1.0 -
+                double(cs->cms.estimate(uint64_t(ct->literal.asInt()))) /
+                    n);
+          case CmpOp::Lt:
+            return clampSel(double(cs->kll.rank(v)) / n);
+          case CmpOp::Le:
+            return clampSel(double(cs->kll.rank(up)) / n);
+          case CmpOp::Gt:
+            return clampSel(1.0 - double(cs->kll.rank(up)) / n);
+          case CmpOp::Ge:
+            return clampSel(1.0 - double(cs->kll.rank(v)) / n);
+        }
+        return selectivity(e);
+      }
+      case ExprKind::Logic:
+        switch (e.logic) {
+          case LogicOp::And:
+            return selectivityFor(*e.kids[0], th, prefix) *
+                   selectivityFor(*e.kids[1], th, prefix);
+          case LogicOp::Or:
+            return std::min(1.0,
+                            selectivityFor(*e.kids[0], th, prefix) +
+                                selectivityFor(*e.kids[1], th, prefix));
+          case LogicOp::Not:
+            return 1.0 - selectivityFor(*e.kids[0], th, prefix);
+        }
+        return 0.5;
+      case ExprKind::InList: {
+        if (e.inInts.empty())
+            return selectivity(e);
+        std::string colname = e.column;
+        if (!prefix.empty() &&
+            colname.compare(0, prefix.size(), prefix) == 0)
+            colname = colname.substr(prefix.size());
+        const auto *cs = ensureColumnStats(*cfg_.sketch, *th, colname,
+                                           cfg_.sketchPool);
+        if (!cs || !cs->hasCms || cs->rows == 0)
+            return selectivity(e);
+        double hits = 0;
+        for (const int64_t v : e.inInts)
+            hits += double(cs->cms.estimate(uint64_t(v)));
+        return clampSel(hits / double(cs->rows));
+      }
+      default:
+        return selectivity(e);
+    }
+}
+
+double
 Optimizer::estimate(PlanNode &n)
 {
     double cost = 0;
@@ -70,10 +199,19 @@ Optimizer::estimate(PlanNode &n)
                 std::max<size_t>(n.columns.size(), 1) * 0.5;
         break;
       }
-      case PlanKind::Filter:
-        n.estRows = n.children[0]->estRows * selectivity(*n.predicate);
+      case PlanKind::Filter: {
+        const TableHandle *th = nullptr;
+        std::string prefix;
+        if (cfg_.sketch &&
+            n.children[0]->kind == PlanKind::Scan) {
+            th = &resolver_.find(n.children[0]->table);
+            prefix = n.children[0]->columnPrefix;
+        }
+        n.estRows = n.children[0]->estRows *
+                    selectivityFor(*n.predicate, th, prefix);
         cost += n.children[0]->estRows;
         break;
+      }
       case PlanKind::Project:
         n.estRows = n.children[0]->estRows;
         cost += n.estRows * 0.5 * double(n.projections.size());

@@ -27,6 +27,11 @@
 
 namespace dbsens {
 
+class WorkerPool;
+namespace sketch {
+class SketchHub;
+}
+
 /** Physical optimization settings. */
 struct OptimizerConfig
 {
@@ -46,6 +51,19 @@ struct OptimizerConfig
      * queries go serial, as in the paper.
      */
     double serialThreshold = 6.0e6;
+
+    /**
+     * Live sketch statistics (src/stats_sketch). Non-null ⇒ literal
+     * predicates over numeric base-table columns are estimated from
+     * CountMin frequencies and KLL ranks (built lazily on first
+     * touch) instead of the static heuristics, so plan choice —
+     * serial-vs-parallel, join algorithm, exchange placement —
+     * reacts to the observed skew. Null (default) keeps the static
+     * estimates and byte-identical plans.
+     */
+    sketch::SketchHub *sketch = nullptr;
+    /** Workers for the lazy sketch build (null ⇒ inline). */
+    WorkerPool *sketchPool = nullptr;
 };
 
 /** Cost-based optimizer. */
@@ -78,6 +96,15 @@ class Optimizer
 
     /** Selectivity heuristic for a predicate. */
     static double selectivity(const Expr &e);
+
+    /**
+     * Sketch-aware selectivity: literal comparisons, IN lists, and
+     * boolean combinations over `th`'s numeric columns use live CMS
+     * frequencies / KLL ranks; everything else (and a null hub)
+     * falls back to the static heuristic.
+     */
+    double selectivityFor(const Expr &e, const TableHandle *th,
+                          const std::string &prefix);
 
     /** Try to rewrite a HashJoin into an IndexNLJoin. */
     void considerIndexJoin(PlanNode &n);

@@ -205,6 +205,8 @@ Autopilot::epochLoop()
                                     weight_[1] * m.rate[1]
                               : 0.0;
         lastScore_ = m.score;
+        if (act_.stats && !act_.latencyStat.empty())
+            m.latencyMs = act_.stats->value(act_.latencyStat);
 
         if (auto *tr = TraceRecorder::active())
             tr->complete(TraceRecorder::kTuneTrack, "tune",
@@ -259,6 +261,9 @@ Autopilot::registerStats(StatsRegistry &reg, const std::string &prefix)
     reg.gauge(prefix + ".rollbacks",
               [this] { return double(policy_->rollbacks()); },
               "trial shifts rolled back");
+    reg.gauge(prefix + ".latency_rollbacks",
+              [this] { return double(policy_->latencyRollbacks()); },
+              "rollbacks forced by the tail-latency guardrail");
     reg.gauge(prefix + ".freezes", [this] { return double(freezes_); },
               "change-freezes entered (resilience guardrail)");
     reg.gauge(prefix + ".frozen",

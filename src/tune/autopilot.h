@@ -56,6 +56,13 @@ class Autopilot
         /** Monotone progress stat per tenant (e.g.
          * "run.txns_committed", "run.olap_useful_ns"). */
         std::string progressStat[kNumTenants];
+        /**
+         * Tail-latency level stat (e.g. the sketch hub's
+         * "sketch.t0.lat_p99_ms"). Empty ⇒ no latency guardrail:
+         * EpochMetrics::latencyMs stays negative and policies ignore
+         * it, preserving pre-sketch trajectories bit-for-bit.
+         */
+        std::string latencyStat;
         /** Run-window predicate: tuning stops when it turns false. */
         std::function<bool()> running;
     };

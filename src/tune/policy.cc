@@ -34,6 +34,10 @@ ProbeAndShiftPolicy::blendEwma(const EpochMetrics &m)
             rateEwma_[t] = m.rate[t];
     }
     haveEwma_ = true;
+    if (m.latencyMs >= 0)
+        latEwma_ = latEwma_ < 0 ? m.latencyMs
+                                : kEwmaAlpha * m.latencyMs +
+                                      (1.0 - kEwmaAlpha) * latEwma_;
 }
 
 std::vector<ProbeResult>
@@ -199,9 +203,18 @@ ProbeAndShiftPolicy::onEpoch(const EpochMetrics &m)
       case Mode::Trial: {
         // Guardrail: commit only when the trial epoch clears the
         // hysteresis margin over the smoothed baseline; otherwise
-        // roll back and cool the move down.
+        // roll back and cool the move down. The latency guardrail
+        // vetoes a commit regardless of score: a trial whose tail
+        // latency worsened past the tolerance is rolled back.
         const double margin = std::abs(ewma_) * cfg_.hysteresis;
-        if (m.score > ewma_ + margin) {
+        const bool lat_bad =
+            m.latencyMs >= 0 && latEwma_ > 0 &&
+            m.latencyMs > latEwma_ * (1.0 + kLatencyTolerance);
+        if (lat_bad) {
+            ++rollbacks_;
+            ++latencyRollbacks_;
+            cooldown_[trialMove_.name()] = cfg_.cooldownEpochs;
+        } else if (m.score > ewma_ + margin) {
             ++shifts_;
             ++cycleShifts_;
             base_ = trialState_;

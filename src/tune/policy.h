@@ -43,6 +43,12 @@ struct EpochMetrics
     double score = 0;
     /** True once the baseline window has fixed the score weights. */
     bool baselineDone = false;
+    /**
+     * Tail-latency level (ms) read from Actuators::latencyStat at the
+     * epoch boundary; negative when no latency stat is wired, and
+     * policies must then skip the latency guardrail entirely.
+     */
+    double latencyMs = -1;
 };
 
 /** Per-epoch decision interface. */
@@ -86,6 +92,8 @@ class TuningPolicy
     virtual int probes() const { return 0; }
     virtual int shifts() const { return 0; }
     virtual int rollbacks() const { return 0; }
+    /** ... of which were forced by the tail-latency guardrail. */
+    virtual int latencyRollbacks() const { return 0; }
 
     /** Most recent probing pass ranked best-first (empty for
      * policies that never probe). */
@@ -140,9 +148,19 @@ class ProbeAndShiftPolicy : public TuningPolicy
     int probes() const override { return probes_; }
     int shifts() const override { return shifts_; }
     int rollbacks() const override { return rollbacks_; }
+    int latencyRollbacks() const override { return latencyRollbacks_; }
 
     /** Probe results of the most recent probing pass (reporting). */
     const SensitivityProbe &probe() const { return probe_; }
+
+    /**
+     * Tail-latency guardrail (EpochMetrics::latencyMs, fed from the
+     * sketch hub's per-tenant quantiles): a trial epoch whose latency
+     * exceeds the smoothed baseline by more than this fraction is
+     * rolled back even when its score cleared the hysteresis margin —
+     * a shift must not buy throughput with the OLTP tail.
+     */
+    static constexpr double kLatencyTolerance = 0.25;
 
     /**
      * Probe measurements averaged over every pass of the run, ranked
@@ -186,6 +204,8 @@ class ProbeAndShiftPolicy : public TuningPolicy
     Mode mode_ = Mode::Baseline;
     double ewma_ = 0;
     double rateEwma_[kNumTenants] = {0, 0};
+    /** Smoothed latency baseline; <0 until a latency stat is seen. */
+    double latEwma_ = -1;
     bool haveEwma_ = false;
     std::map<std::string, ProbeAccum> probeAccum_;
     std::vector<ProbeResult> candidates_;
@@ -199,6 +219,7 @@ class ProbeAndShiftPolicy : public TuningPolicy
     int probes_ = 0;
     int shifts_ = 0;
     int rollbacks_ = 0;
+    int latencyRollbacks_ = 0;
     std::string label_ = "baseline";
 };
 
@@ -241,6 +262,10 @@ class FreezeGuardPolicy : public TuningPolicy
     int probes() const override { return inner_->probes(); }
     int shifts() const override { return inner_->shifts(); }
     int rollbacks() const override { return inner_->rollbacks(); }
+    int latencyRollbacks() const override
+    {
+        return inner_->latencyRollbacks();
+    }
     std::vector<ProbeResult> rankedProbes() const override
     {
         return inner_->rankedProbes();

@@ -104,6 +104,10 @@ HtapWorkload::analyticalOnce(SimRun &run, Database &db,
                                 ? std::min(cfg.maxdopCap, clamp)
                                 : clamp;
     }
+    // Live sketch statistics: literal selectivities come from the
+    // run's CMS/KLL column sketches, so plan choice reacts to the
+    // observed skew (null hub keeps the static estimates).
+    cfg.sketch = run.sketch.get();
     const auto pq = profileQuery(db, *plan, cfg, &run.pool, &dss_feed);
     const uint64_t da = dss_feed.accesses() - a0;
     const uint64_t dm = dss_feed.misses() - m0;

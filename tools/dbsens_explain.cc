@@ -12,11 +12,13 @@
  * (report_tool merge); every `obs` object found under results/ is
  * rendered, along with every enabled `resil` object (incident
  * timeline and degradation-ladder transitions from the resilience
- * controller) and every fleet result (bench_fig13_fleet: per-cell
- * cross-shard transaction outcomes, per-node 2PC counters, and the
- * crash/restart timeline). `--json` re-emits just those objects
- * (keyed by their result path) for scripting. Built only on the
- * in-tree Json class.
+ * controller), every enabled `sketch` object (sketch-statistics
+ * backbone: shapes, analytic accuracy, occupancy, hot-key hits,
+ * grant-pressure resizes, per-tenant latency quantiles) and every
+ * fleet result (bench_fig13_fleet: per-cell cross-shard transaction
+ * outcomes, per-node 2PC counters, and the crash/restart timeline).
+ * `--json` re-emits just those objects (keyed by their result path)
+ * for scripting. Built only on the in-tree Json class.
  */
 
 #include <cstdio>
@@ -162,6 +164,47 @@ renderObs(const std::string &label, const Json &obs)
                             ? sparkline(s.at("points"), max).c_str()
                             : "");
         }
+    }
+}
+
+/** Sketch-statistics backbone view (`sketch` result objects): sketch
+ * shapes with their analytic accuracy, memory and counter occupancy,
+ * hot-key hit rates, grant-pressure resizes, and the per-tenant
+ * latency quantiles the autopilot guardrail reads. */
+void
+renderSketch(const std::string &label, const Json &s)
+{
+    std::printf("\n=== %s ===\n", label.c_str());
+    std::printf("sketches: %d column(s), cms %dx%d (eps %.2e), "
+                "kll k=%d, %llu byte(s), occupancy %.1f%%, digest "
+                "%s\n",
+                int(num(s, "columns")), int(num(s, "cms_width")),
+                int(num(s, "cms_depth")), num(s, "cms_eps"),
+                int(num(s, "kll_k")),
+                (unsigned long long)num(s, "bytes"),
+                100.0 * num(s, "occupancy"),
+                str(s, "digest").c_str());
+    const double rows = num(s, "row_accesses");
+    const double hot = num(s, "hot_hits");
+    std::printf("hot keys: %llu row / %llu page access(es), %llu "
+                "hot hit(s) (%.2f%% of rows), %d grant-pressure "
+                "resize(s)\n",
+                (unsigned long long)rows,
+                (unsigned long long)num(s, "page_accesses"),
+                (unsigned long long)hot,
+                rows > 0 ? 100.0 * hot / rows : 0.0,
+                int(num(s, "resizes")));
+    for (int t = 0; t < 2; ++t) {
+        const std::string p = "t" + std::to_string(t) + "_";
+        const double n = num(s, p + "lat_count");
+        if (n <= 0)
+            continue;
+        std::printf("tenant %d latency: n=%llu, p50 %.3f ms, p95 "
+                    "%.3f ms, p99 %.3f ms\n",
+                    t, (unsigned long long)n,
+                    num(s, p + "lat_p50_ms"),
+                    num(s, p + "lat_p95_ms"),
+                    num(s, p + "lat_p99_ms"));
     }
 }
 
@@ -355,6 +398,11 @@ collect(const Json &node, const std::string &path,
                  m.second.contains("enabled") &&
                  m.second.at("enabled").asBool())
             out->push_back({sub, &m.second});
+        else if (m.first == "sketch" && m.second.isObject() &&
+                 m.second.contains("enabled") &&
+                 m.second.at("enabled").asBool() &&
+                 m.second.contains("cms_width"))
+            out->push_back({sub, &m.second});
         else
             collect(m.second, sub, out);
     }
@@ -397,9 +445,10 @@ main(int argc, char **argv)
     collect(doc, "", &hits);
     if (hits.empty()) {
         std::fprintf(stderr, "dbsens_explain: %s holds no obs, "
-                     "resil, or fleet section (run the bench with "
-                     "--json and RunConfig::obs or RunConfig::resil "
-                     "enabled, or use a bench_fig13_fleet report)\n",
+                     "resil, sketch, or fleet section (run the bench "
+                     "with --json and RunConfig::obs, RunConfig::resil "
+                     "or RunConfig::sketch enabled, or use a "
+                     "bench_fig13_fleet report)\n",
                      path.c_str());
         return 1;
     }
@@ -420,6 +469,8 @@ main(int argc, char **argv)
             renderFleet(h.first, *h.second);
         else if (key == "resil")
             renderResil(h.first, *h.second);
+        else if (key == "sketch")
+            renderSketch(h.first, *h.second);
         else
             renderObs(h.first, *h.second);
     }
